@@ -1,0 +1,49 @@
+//===- BenchUtil.h - Shared bench harness helpers ----------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benches: run a workload
+/// under a strategy, and tabulate results the way the paper's figures
+/// report them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_BENCH_BENCHUTIL_H
+#define SRP_BENCH_BENCHUTIL_H
+
+#include "core/Pipeline.h"
+#include "support/Error.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+#include "workloads/Workloads.h"
+
+namespace srp::bench {
+
+inline core::PipelineResult runOrDie(const core::Workload &W,
+                                     const core::PipelineConfig &Config) {
+  core::PipelineResult R = core::runPipeline(W, Config);
+  if (!R.Ok)
+    fatalError(W.Name + ": " + R.Error);
+  // Guard: a bench result is only meaningful if the binary is correct.
+  std::vector<std::string> Oracle = core::oracleOutput(W);
+  if (R.Output != Oracle)
+    fatalError(W.Name + ": simulated output diverges from the oracle");
+  return R;
+}
+
+inline double pctReduction(uint64_t Base, uint64_t Spec) {
+  if (Base == 0)
+    return 0.0;
+  return 100.0 * (double(Base) - double(Spec)) / double(Base);
+}
+
+inline void printHeader(const char *Title, const char *PaperNote) {
+  outs() << "\n==== " << Title << " ====\n" << PaperNote << "\n\n";
+}
+
+} // namespace srp::bench
+
+#endif // SRP_BENCH_BENCHUTIL_H

@@ -1,0 +1,46 @@
+//===- ablation_alias.cpp - Alias-analysis precision vs speculation -----------===//
+//
+// The question §5 of the paper raises: the alternative to hardware
+// speculation is a better static alias analysis. This ablation runs the
+// conservative strategy under Steensgaard (ORC's equivalence-class
+// baseline) and under the inclusion-based Andersen analysis, against the
+// ALAT strategy — showing how much of the win precision alone recovers.
+//
+// On these workloads the ambiguity is *fundamental* (the decoy
+// assignments are statically reachable), so even a precise flow-
+// insensitive analysis cannot disprove the aliases; the profile can.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+using namespace srp;
+using namespace srp::bench;
+using namespace srp::core;
+
+int main() {
+  printHeader("Ablation: alias precision vs speculation",
+              "cycles: conservative/Steensgaard vs conservative/Andersen "
+              "vs ALAT speculation");
+
+  outs() << formatString("%-8s %14s %14s %12s\n", "bench", "steensgaard",
+                         "andersen", "alat");
+  for (const Workload &W : workloads::standardWorkloads()) {
+    PipelineResult Steens =
+        runOrDie(W, configFor(pre::PromotionConfig::conservative()));
+    PipelineConfig AndersenCfg =
+        configFor(pre::PromotionConfig::conservative());
+    AndersenCfg.UseAndersen = true;
+    PipelineResult Anders = runOrDie(W, AndersenCfg);
+    PipelineResult Alat =
+        runOrDie(W, configFor(pre::PromotionConfig::alat()));
+    outs() << formatString("%-8s %14llu %14llu %12llu\n", W.Name.c_str(),
+                           (unsigned long long)Steens.Sim.Counters.Cycles,
+                           (unsigned long long)Anders.Sim.Counters.Cycles,
+                           (unsigned long long)Alat.Sim.Counters.Cycles);
+  }
+  outs() << "\nexpected: andersen <= steensgaard (never worse), and alat "
+            "well below both — the ambiguity here is dynamic, not an "
+            "analysis artifact\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- micro_alat.cpp - ALAT model microbenchmarks -----------------------------===//
+//
+// google-benchmark microbenchmarks of the ALAT model's hot operations
+// (allocate / store-notify / check), plus the cache hierarchy, so model
+// overhead is visible when simulating large workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Alat.h"
+#include "arch/Caches.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace srp::arch;
+
+namespace {
+
+void BM_AlatAllocate(benchmark::State &State) {
+  Alat Table{AlatConfig{}};
+  unsigned Reg = 32;
+  uint64_t Addr = 0x10000;
+  for (auto _ : State) {
+    Table.allocate(Reg, Addr);
+    Reg = 32 + ((Reg + 1) % 64);
+    Addr += 8;
+    benchmark::DoNotOptimize(Table);
+  }
+}
+BENCHMARK(BM_AlatAllocate);
+
+void BM_AlatStoreNotify(benchmark::State &State) {
+  Alat Table{AlatConfig{}};
+  for (unsigned R = 32; R < 64; ++R)
+    Table.allocate(R, 0x10000 + R * 8);
+  uint64_t Addr = 0x20000;
+  for (auto _ : State) {
+    Table.storeNotify(Addr);
+    Addr += 8;
+    benchmark::DoNotOptimize(Table);
+  }
+}
+BENCHMARK(BM_AlatStoreNotify);
+
+void BM_AlatCheckHit(benchmark::State &State) {
+  Alat Table{AlatConfig{}};
+  Table.allocate(40, 0x10000);
+  for (auto _ : State) {
+    bool Hit = Table.check(40, 0x10000, /*Clear=*/false);
+    benchmark::DoNotOptimize(Hit);
+  }
+}
+BENCHMARK(BM_AlatCheckHit);
+
+void BM_AlatCheckMiss(benchmark::State &State) {
+  Alat Table{AlatConfig{}};
+  for (auto _ : State) {
+    bool Hit = Table.check(41, 0x10000, /*Clear=*/false);
+    benchmark::DoNotOptimize(Hit);
+  }
+}
+BENCHMARK(BM_AlatCheckMiss);
+
+void BM_CacheAccessHit(benchmark::State &State) {
+  MemoryHierarchy Mem{MemoryConfig{}};
+  Mem.loadLatency(0x10000, false);
+  for (auto _ : State) {
+    unsigned Lat = Mem.loadLatency(0x10000, false);
+    benchmark::DoNotOptimize(Lat);
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStream(benchmark::State &State) {
+  MemoryHierarchy Mem{MemoryConfig{}};
+  uint64_t Addr = 0;
+  for (auto _ : State) {
+    unsigned Lat = Mem.loadLatency(Addr, false);
+    Addr += 64;
+    benchmark::DoNotOptimize(Lat);
+  }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

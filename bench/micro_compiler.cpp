@@ -1,0 +1,94 @@
+//===- micro_compiler.cpp - Compiler-phase microbenchmarks ---------------------===//
+//
+// google-benchmark microbenchmarks of the compiler phases themselves:
+// Steensgaard alias analysis, HSSA construction, the speculative
+// promotion pass, and lowering — measured on the gzip workload build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/AliasAnalysis.h"
+#include "codegen/Lowering.h"
+#include "codegen/RegAlloc.h"
+#include "interp/Interpreter.h"
+#include "pre/Promoter.h"
+#include "ssa/HSSA.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace srp;
+
+namespace {
+
+void buildGzip(ir::Module &M) {
+  core::Workload W = workloads::gzipWorkload();
+  W.Build(M, 1);
+  for (unsigned I = 0; I < M.numFunctions(); ++I)
+    M.function(I)->recomputeCFG();
+}
+
+void BM_SteensgaardAnalysis(benchmark::State &State) {
+  ir::Module M;
+  buildGzip(M);
+  for (auto _ : State) {
+    alias::SteensgaardAnalysis AA(M);
+    benchmark::DoNotOptimize(AA.numLocationClasses());
+  }
+}
+BENCHMARK(BM_SteensgaardAnalysis);
+
+void BM_HSSABuild(benchmark::State &State) {
+  ir::Module M;
+  buildGzip(M);
+  alias::SteensgaardAnalysis AA(M);
+  for (auto _ : State) {
+    ssa::DominatorTree DT(*M.function(0));
+    ssa::HSSA H(*M.function(0), DT, AA, nullptr);
+    benchmark::DoNotOptimize(H.numObjects());
+  }
+}
+BENCHMARK(BM_HSSABuild);
+
+void BM_PromoteModule(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    ir::Module M;
+    buildGzip(M);
+    interp::AliasProfile AP;
+    interp::Interpreter Train(M);
+    Train.setAliasProfile(&AP);
+    Train.run();
+    alias::SteensgaardAnalysis AA(M);
+    State.ResumeTiming();
+    auto Stats = pre::promoteModule(M, AA, &AP, nullptr,
+                                    pre::PromotionConfig::alat());
+    benchmark::DoNotOptimize(Stats.PromotedExprs);
+  }
+}
+BENCHMARK(BM_PromoteModule);
+
+void BM_LowerAndAllocate(benchmark::State &State) {
+  ir::Module M;
+  buildGzip(M);
+  for (auto _ : State) {
+    auto MM = codegen::lowerModule(M);
+    codegen::allocateRegisters(*MM);
+    benchmark::DoNotOptimize(MM->numFunctions());
+  }
+}
+BENCHMARK(BM_LowerAndAllocate);
+
+void BM_InterpretTrainRun(benchmark::State &State) {
+  ir::Module M;
+  buildGzip(M);
+  for (auto _ : State) {
+    interp::Interpreter I(M);
+    auto R = I.run();
+    benchmark::DoNotOptimize(R.StmtsExecuted);
+  }
+}
+BENCHMARK(BM_InterpretTrainRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

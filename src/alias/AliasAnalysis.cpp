@@ -1,0 +1,320 @@
+//===- AliasAnalysis.cpp - Steensgaard points-to ----------------------------===//
+
+#include "alias/AliasAnalysis.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+#include <cassert>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::alias;
+
+AliasAnalysis::~AliasAnalysis() = default;
+
+namespace srp::alias {
+
+/// Builds the unification constraints for one module.
+///
+/// Node universe: one location per symbol (ids [0, numSymbols)), one
+/// location per (function, temp), and fresh cells invented on demand as
+/// dereference targets. Each representative has at most one points-to
+/// successor; unifying two representatives recursively unifies their
+/// successors, which is what makes the analysis almost-linear.
+class SteensgaardSolver {
+public:
+  SteensgaardSolver(const ir::Module &M, SteensgaardAnalysis &Result)
+      : M(M), R(Result) {}
+
+  void run() {
+    R.Parent.clear();
+    for (unsigned I = 0, E = M.numSymbols(); I != E; ++I)
+      newNode();
+    // Temp locations, per function.
+    TempBase.resize(M.numFunctions());
+    RetLoc.resize(M.numFunctions(), ~0u);
+    for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
+      const Function *F = M.function(FI);
+      TempBase[FI] = static_cast<unsigned>(R.Parent.size());
+      for (unsigned T = 0, TE = F->numTemps(); T != TE; ++T)
+        newNode();
+      RetLoc[FI] = newNode();
+      FuncIndex[F] = FI;
+    }
+    for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI)
+      processFunction(*M.function(FI), FI);
+    collectClasses();
+  }
+
+private:
+  unsigned newNode() {
+    unsigned Id = static_cast<unsigned>(R.Parent.size());
+    R.Parent.push_back(Id);
+    R.Pts.push_back(~0u);
+    return Id;
+  }
+
+  unsigned find(unsigned Node) { return R.find(Node); }
+
+  /// Returns the pointee cell of \p Node, creating one if absent.
+  unsigned pointee(unsigned Node) {
+    Node = find(Node);
+    if (R.Pts[Node] == ~0u) {
+      unsigned Fresh = newNode();
+      // Re-find: newNode may have invalidated nothing, but Node stays rep.
+      R.Pts[find(Node)] = Fresh;
+      return Fresh;
+    }
+    return find(R.Pts[Node]);
+  }
+
+  /// Unifies the classes of \p A and \p B (and, recursively, pointees).
+  void unify(unsigned A, unsigned B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return;
+    unsigned PtsA = R.Pts[A];
+    unsigned PtsB = R.Pts[B];
+    R.Parent[B] = A;
+    if (PtsB == ~0u)
+      return;
+    if (PtsA == ~0u) {
+      R.Pts[A] = PtsB;
+      return;
+    }
+    unify(PtsA, PtsB);
+  }
+
+  unsigned tempLoc(unsigned FuncIdx, unsigned TempId) {
+    return TempBase[FuncIdx] + TempId;
+  }
+
+  unsigned operandLoc(unsigned FuncIdx, const Operand &Op) {
+    if (Op.isTemp())
+      return tempLoc(FuncIdx, Op.getTemp());
+    return ~0u; // Constants carry no pointer.
+  }
+
+  /// Location class of the cell accessed by \p Ref (creating dereference
+  /// cells as needed during solving).
+  unsigned cellOf(const MemRef &Ref) {
+    unsigned Cell = Ref.Base->Id;
+    for (unsigned I = 0; I < Ref.Depth; ++I)
+      Cell = pointee(Cell);
+    return Cell;
+  }
+
+  /// Value flow: contents of \p FromLoc flow into contents of \p IntoLoc.
+  void flowContents(unsigned IntoLoc, unsigned FromLoc) {
+    if (IntoLoc == ~0u || FromLoc == ~0u)
+      return;
+    unify(pointee(IntoLoc), pointee(FromLoc));
+  }
+
+  void processFunction(const Function &F, unsigned FuncIdx) {
+    for (unsigned BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+      const BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI)
+        processStmt(*BB->stmt(SI), FuncIdx);
+      const Terminator &T = BB->term();
+      if (T.Kind == TermKind::Ret && !T.RetVal.isNone())
+        flowContents(RetLoc[FuncIdx], operandLoc(FuncIdx, T.RetVal));
+    }
+  }
+
+  void processStmt(const Stmt &S, unsigned FuncIdx) {
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      processAssign(S, FuncIdx);
+      break;
+    case StmtKind::Load:
+      // Dst's value gets whatever the accessed cell contains.
+      unify(pointee(tempLoc(FuncIdx, S.Dst)), pointee(cellOf(S.Ref)));
+      break;
+    case StmtKind::Store: {
+      unsigned ValueLoc = operandLoc(FuncIdx, S.A);
+      if (ValueLoc != ~0u)
+        unify(pointee(cellOf(S.Ref)), pointee(ValueLoc));
+      break;
+    }
+    case StmtKind::AddrOf:
+      // Dst points at the base symbol's cell.
+      unify(pointee(tempLoc(FuncIdx, S.Dst)), find(S.Ref.Base->Id));
+      break;
+    case StmtKind::Alloc:
+      unify(pointee(tempLoc(FuncIdx, S.Dst)), find(S.HeapSym->Id));
+      break;
+    case StmtKind::Call: {
+      auto It = FuncIndex.find(S.Callee);
+      assert(It != FuncIndex.end() && "call to unknown function");
+      unsigned CalleeIdx = It->second;
+      const auto &Formals = S.Callee->formals();
+      for (size_t I = 0; I < S.Args.size() && I < Formals.size(); ++I)
+        flowContents(Formals[I]->Id, operandLoc(FuncIdx, S.Args[I]));
+      if (S.Dst != NoTemp)
+        flowContents(tempLoc(FuncIdx, S.Dst), RetLoc[CalleeIdx]);
+      break;
+    }
+    case StmtKind::Invala:
+    case StmtKind::Print:
+      break;
+    }
+  }
+
+  void processAssign(const Stmt &S, unsigned FuncIdx) {
+    unsigned DstLoc = tempLoc(FuncIdx, S.Dst);
+    switch (S.Op) {
+    case Opcode::Copy:
+    case Opcode::Add:
+    case Opcode::Sub:
+      // Pointer values survive copies and pointer arithmetic.
+      flowContents(DstLoc, operandLoc(FuncIdx, S.A));
+      flowContents(DstLoc, operandLoc(FuncIdx, S.B));
+      break;
+    case Opcode::Select:
+      flowContents(DstLoc, operandLoc(FuncIdx, S.B));
+      flowContents(DstLoc, operandLoc(FuncIdx, S.C));
+      break;
+    default:
+      // Multiplications, comparisons, float ops etc. do not manufacture
+      // dereferenceable pointers in well-defined programs.
+      break;
+    }
+  }
+
+  void collectClasses() {
+    R.ClassSymbols.assign(R.Parent.size(), {});
+    for (unsigned I = 0, E = M.numSymbols(); I != E; ++I)
+      R.ClassSymbols[find(I)].push_back(M.symbol(I));
+    for (auto &Class : R.ClassSymbols)
+      std::sort(Class.begin(), Class.end(),
+                [](const Symbol *L, const Symbol *R2) {
+                  return L->Id < R2->Id;
+                });
+  }
+
+  const ir::Module &M;
+  SteensgaardAnalysis &R;
+  std::vector<unsigned> TempBase;
+  std::vector<unsigned> RetLoc;
+  std::map<const Function *, unsigned> FuncIndex;
+};
+
+} // namespace srp::alias
+
+SteensgaardAnalysis::SteensgaardAnalysis(const ir::Module &M) : M(M) {
+  SteensgaardSolver Solver(M, *this);
+  Solver.run();
+}
+
+unsigned SteensgaardAnalysis::find(unsigned Node) const {
+  assert(Node < Parent.size() && "node out of range");
+  unsigned Root = Node;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  while (Parent[Node] != Root) {
+    unsigned Next = Parent[Node];
+    Parent[Node] = Root;
+    Node = Next;
+  }
+  return Root;
+}
+
+unsigned SteensgaardAnalysis::cellClassOf(const ir::MemRef &Ref) const {
+  assert(Ref.Base && "reference without base");
+  unsigned Cell = find(Ref.Base->Id);
+  for (unsigned I = 0; I < Ref.Depth; ++I) {
+    if (Pts[Cell] == ~0u)
+      return ~0u;
+    Cell = find(Pts[Cell]);
+  }
+  return Cell;
+}
+
+/// Refined direct-direct disambiguation: same symbol, and constant
+/// index/offset ranges must overlap.
+static bool directRefsMayOverlap(const MemRef &A, const MemRef &B) {
+  if (A.Base != B.Base)
+    return false;
+  auto ConstAddr = [](const MemRef &Ref, int64_t &Addr) {
+    if (Ref.hasIndex() && Ref.Index.K != Operand::Kind::ConstInt)
+      return false;
+    int64_t Index =
+        Ref.hasIndex() && Ref.Index.K == Operand::Kind::ConstInt
+            ? Ref.Index.IntVal
+            : 0;
+    Addr = Index * 8 + Ref.Offset;
+    return true;
+  };
+  int64_t AddrA = 0, AddrB = 0;
+  if (ConstAddr(A, AddrA) && ConstAddr(B, AddrB))
+    return AddrA == AddrB;
+  return true; // Symbolic index: assume overlap.
+}
+
+bool SteensgaardAnalysis::mayAlias(const ir::MemRef &A,
+                                   const ir::Function *FA,
+                                   const ir::MemRef &B,
+                                   const ir::Function *FB) const {
+  if (A.isDirect() && B.isDirect())
+    return directRefsMayOverlap(A, B);
+  unsigned CellA = cellClassOf(A);
+  unsigned CellB = cellClassOf(B);
+  if (CellA == ~0u || CellB == ~0u)
+    return false;
+  if (CellA != CellB)
+    return false;
+  // Same class. If one side is a direct reference to a symbol that never
+  // had its address taken and is not a global, no pointer can actually
+  // reach it; the unification merely merged value classes.
+  auto DirectlyUnreachable = [](const MemRef &Ref) {
+    return Ref.isDirect() && !Ref.Base->AddressTaken &&
+           Ref.Base->Kind == SymbolKind::Local;
+  };
+  if (A.isDirect() != B.isDirect())
+    if (DirectlyUnreachable(A.isDirect() ? A : B))
+      return false;
+  return true;
+}
+
+std::vector<const ir::Symbol *>
+SteensgaardAnalysis::mayPointees(const ir::MemRef &Ref,
+                                 const ir::Function *F) const {
+  if (Ref.isDirect())
+    return {Ref.Base};
+  unsigned Cell = cellClassOf(Ref);
+  if (Cell == ~0u)
+    return {};
+  std::vector<const Symbol *> Result;
+  for (const Symbol *Sym : ClassSymbols[Cell]) {
+    // Locals of other functions are out of scope for an access in F.
+    if (Sym->Parent && F && Sym->Parent != F && !Sym->AddressTaken)
+      continue;
+    Result.push_back(Sym);
+  }
+  return Result;
+}
+
+bool SteensgaardAnalysis::isCallClobbered(const ir::Symbol *S) const {
+  switch (S->Kind) {
+  case SymbolKind::Global:
+  case SymbolKind::HeapSite:
+    return true;
+  case SymbolKind::Local:
+  case SymbolKind::Formal:
+    return S->AddressTaken;
+  }
+  SRP_UNREACHABLE("invalid SymbolKind");
+}
+
+unsigned SteensgaardAnalysis::numLocationClasses() const {
+  unsigned Count = 0;
+  for (unsigned I = 0, E = static_cast<unsigned>(ClassSymbols.size()); I != E;
+       ++I)
+    if (find(I) == I && !ClassSymbols[I].empty())
+      ++Count;
+  return Count;
+}

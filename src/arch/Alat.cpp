@@ -1,0 +1,119 @@
+//===- Alat.cpp - Advanced Load Address Table model ---------------------------===//
+
+#include "arch/Alat.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+static bool traceOn() {
+  static bool On = getenv("SRP_ALAT_TRACE") != nullptr;
+  return On;
+}
+static int TraceBudget = 400;
+
+using namespace srp::arch;
+
+Alat::Alat(const AlatConfig &Config) : Config(Config) {
+  assert(Config.Ways >= 1 && Config.Entries >= Config.Ways &&
+         "degenerate ALAT geometry");
+  NumSets = Config.Entries / Config.Ways;
+  if (NumSets == 0)
+    NumSets = 1;
+  Table.assign(NumSets * Config.Ways, Entry());
+}
+
+Alat::Entry *Alat::findEntry(unsigned Reg) {
+  unsigned Set = setOf(Reg);
+  for (unsigned W = 0; W < Config.Ways; ++W) {
+    Entry &E = Table[Set * Config.Ways + W];
+    if (E.Valid && E.Reg == Reg)
+      return &E;
+  }
+  return nullptr;
+}
+
+const Alat::Entry *Alat::findEntry(unsigned Reg) const {
+  return const_cast<Alat *>(this)->findEntry(Reg);
+}
+
+void Alat::allocate(unsigned Reg, uint64_t Addr) {
+  ++Stats.Allocations;
+  if (traceOn() && TraceBudget-- > 0)
+    fprintf(stderr, "alloc r%u @%llx\n", Reg, (unsigned long long)Addr);
+  if (Entry *E = findEntry(Reg)) {
+    E->Addr = Addr;
+    return;
+  }
+  unsigned Set = setOf(Reg);
+  // Prefer an invalid way; otherwise evict the first way (the table has
+  // no use-ordering; entries are short-lived).
+  Entry *Victim = nullptr;
+  for (unsigned W = 0; W < Config.Ways; ++W) {
+    Entry &E = Table[Set * Config.Ways + W];
+    if (!E.Valid) {
+      Victim = &E;
+      break;
+    }
+  }
+  if (!Victim) {
+    Victim = &Table[Set * Config.Ways];
+    ++Stats.CapacityEvictions;
+  }
+  if (traceOn() && Victim->Valid && TraceBudget > 0)
+    fprintf(stderr, "evict r%u for r%u\n", Victim->Reg, Reg);
+  Victim->Valid = true;
+  Victim->Reg = Reg;
+  Victim->Addr = Addr;
+}
+
+void Alat::storeNotify(uint64_t Addr) {
+  uint64_t Tag = partialTag(Addr);
+  for (Entry &E : Table) {
+    if (!E.Valid || partialTag(E.Addr) != Tag)
+      continue;
+    E.Valid = false;
+    ++Stats.Invalidations;
+    if (traceOn() && TraceBudget-- > 0)
+      fprintf(stderr, "inval r%u @%llx by store @%llx\n", E.Reg,
+              (unsigned long long)E.Addr, (unsigned long long)Addr);
+    if (E.Addr != Addr)
+      ++Stats.FalseInvalidations;
+  }
+}
+
+bool Alat::check(unsigned Reg, uint64_t Addr, bool Clear) {
+  Entry *E = findEntry(Reg);
+  if (!E || E->Addr != Addr) {
+    ++Stats.CheckMisses;
+    if (traceOn() && TraceBudget-- > 0)
+      fprintf(stderr, "miss r%u @%llx (%s)\n", Reg,
+              (unsigned long long)Addr, E ? "addr-mismatch" : "no-entry");
+    return false;
+  }
+  ++Stats.CheckHits;
+  if (Clear)
+    E->Valid = false;
+  return true;
+}
+
+bool Alat::checkRegister(unsigned Reg) const {
+  return findEntry(Reg) != nullptr;
+}
+
+void Alat::invalidateRegister(unsigned Reg) {
+  if (Entry *E = findEntry(Reg))
+    E->Valid = false;
+}
+
+void Alat::invalidateAll() {
+  for (Entry &E : Table)
+    E.Valid = false;
+}
+
+unsigned Alat::numValidEntries() const {
+  unsigned Count = 0;
+  for (const Entry &E : Table)
+    Count += E.Valid;
+  return Count;
+}

@@ -1,0 +1,105 @@
+//===- Alat.h - Advanced Load Address Table model ----------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ALAT (§2.1): a small set-associative table of (register, address)
+/// entries. Advanced loads allocate entries; every store compares its
+/// address against all entries using a *partial* tag and invalidates
+/// matches — partial tags make false collisions possible, which is a pure
+/// performance effect the ablation benches measure. invala.e removes a
+/// single register's entry; checks query by register.
+///
+/// One deliberate safety deviation from the Itanium manuals: check hits
+/// additionally require the full address recorded at allocation to match
+/// the checking load's address. Production IA-64 compilers guarantee this
+/// by construction (a path from every ld.c leads back to a matching ld.a
+/// or an invala); verifying it in hardware-model code makes register
+/// reuse by the allocator architecturally safe rather than a compiler
+/// proof obligation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ARCH_ALAT_H
+#define SRP_ARCH_ALAT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace srp::arch {
+
+/// ALAT geometry and behaviour knobs.
+struct AlatConfig {
+  unsigned Entries = 32;      ///< Total entries (Itanium: 32).
+  unsigned Ways = 2;          ///< Set associativity (Itanium: 2).
+  unsigned PartialTagBits = 20; ///< Address bits compared on stores.
+};
+
+/// Statistics the evaluation section needs.
+struct AlatStats {
+  uint64_t Allocations = 0;
+  uint64_t Invalidations = 0;      ///< Entries removed by stores.
+  uint64_t FalseInvalidations = 0; ///< ... where full addresses differed.
+  uint64_t CapacityEvictions = 0;  ///< Entries displaced by allocation.
+  uint64_t CheckHits = 0;
+  uint64_t CheckMisses = 0;
+};
+
+/// The table itself.
+class Alat {
+public:
+  explicit Alat(const AlatConfig &Config);
+
+  /// Allocates (or refreshes) the entry for \p Reg covering \p Addr.
+  void allocate(unsigned Reg, uint64_t Addr);
+
+  /// A store to \p Addr: invalidates every entry whose partial tag
+  /// matches.
+  void storeNotify(uint64_t Addr);
+
+  /// True if \p Reg has a valid entry whose recorded address is \p Addr.
+  /// \p Clear removes the entry on a hit (the .clr completer).
+  bool check(unsigned Reg, uint64_t Addr, bool Clear);
+
+  /// chk.a-style query: valid entry for \p Reg (address already verified
+  /// at allocation; the recovery reloads everything anyway).
+  bool checkRegister(unsigned Reg) const;
+
+  /// invala.e: drops \p Reg's entry.
+  void invalidateRegister(unsigned Reg);
+
+  /// Drops everything (context switch / invala).
+  void invalidateAll();
+
+  const AlatStats &stats() const { return Stats; }
+  unsigned numValidEntries() const;
+
+private:
+  struct Entry {
+    bool Valid = false;
+    unsigned Reg = 0;
+    uint64_t Addr = 0;
+  };
+
+  uint64_t partialTag(uint64_t Addr) const {
+    return Addr & ((uint64_t(1) << Config.PartialTagBits) - 1);
+  }
+
+  /// Entries are organized in Entries/Ways sets indexed by register
+  /// number, mirroring the register-indexed Itanium organization.
+  unsigned setOf(unsigned Reg) const { return Reg % NumSets; }
+
+  Entry *findEntry(unsigned Reg);
+  const Entry *findEntry(unsigned Reg) const;
+
+  AlatConfig Config;
+  unsigned NumSets;
+  std::vector<Entry> Table; ///< NumSets * Ways.
+  AlatStats Stats;
+};
+
+} // namespace srp::arch
+
+#endif // SRP_ARCH_ALAT_H

@@ -1,0 +1,100 @@
+//===- Caches.cpp - Itanium-like cache hierarchy ------------------------------===//
+
+#include "arch/Caches.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace srp::arch;
+
+CacheLevel::CacheLevel(uint64_t SizeBytes, unsigned Ways, unsigned LineBytes)
+    : Ways(Ways), LineBytes(LineBytes) {
+  assert(Ways >= 1 && LineBytes >= 8 && "degenerate cache geometry");
+  uint64_t NumLines = SizeBytes / LineBytes;
+  NumSets = static_cast<unsigned>(NumLines / Ways);
+  if (NumSets == 0)
+    NumSets = 1;
+  Lines.assign(static_cast<size_t>(NumSets) * Ways, Line());
+}
+
+bool CacheLevel::access(uint64_t Addr) {
+  unsigned Set = indexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  ++Clock;
+  Line *Victim = nullptr;
+  for (unsigned W = 0; W < Ways; ++W) {
+    Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
+    if (L.Valid && L.Tag == Tag) {
+      L.Lru = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Victim || !L.Valid || (Victim->Valid && L.Lru < Victim->Lru))
+      Victim = &L;
+  }
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Lru = Clock;
+  return false;
+}
+
+void CacheLevel::install(uint64_t Addr) {
+  unsigned Set = indexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  ++Clock;
+  Line *Victim = nullptr;
+  for (unsigned W = 0; W < Ways; ++W) {
+    Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
+    if (L.Valid && L.Tag == Tag) {
+      L.Lru = Clock;
+      return;
+    }
+    if (!Victim || !L.Valid || (Victim->Valid && L.Lru < Victim->Lru))
+      Victim = &L;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Lru = Clock;
+}
+
+bool CacheLevel::probe(uint64_t Addr) const {
+  unsigned Set = indexOf(Addr);
+  uint64_t Tag = tagOf(Addr);
+  for (unsigned W = 0; W < Ways; ++W) {
+    const Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
+    if (L.Valid && L.Tag == Tag)
+      return true;
+  }
+  return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
+    : Config(Config), L1(Config.L1Size, Config.L1Ways, Config.LineBytes),
+      L2(Config.L2Size, Config.L2Ways, Config.LineBytes),
+      L3(Config.L3Size, Config.L3Ways, Config.LineBytes) {}
+
+unsigned MemoryHierarchy::loadLatency(uint64_t Addr, bool Fp) {
+  if (!Fp && L1.access(Addr))
+    return Config.L1Latency;
+  if (L2.access(Addr)) {
+    if (!Fp)
+      L1.install(Addr);
+    return Config.L2Latency;
+  }
+  if (L3.access(Addr)) {
+    if (!Fp)
+      L1.install(Addr);
+    return Config.L3Latency;
+  }
+  if (!Fp)
+    L1.install(Addr);
+  return Config.MemLatency;
+}
+
+void MemoryHierarchy::store(uint64_t Addr) {
+  // Write-allocate into L2; refresh L1 when the line is already present.
+  if (L1.probe(Addr))
+    L1.install(Addr);
+  L2.install(Addr);
+}

@@ -1,0 +1,472 @@
+//===- Simulator.cpp - ITA functional + timing simulator ----------------------===//
+
+#include "arch/Simulator.h"
+
+#include "interp/Interpreter.h" // layout constants
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+
+using namespace srp;
+using namespace srp::arch;
+using namespace srp::codegen;
+
+namespace {
+
+/// One simulated run.
+class Machine {
+public:
+  Machine(const MModule &M, const SimConfig &Config)
+      : M(M), Config(Config), Table(Config.Alat), Mem(Config.Memory) {}
+
+  SimResult run();
+
+private:
+  struct ReturnPoint {
+    const MFunction *F;
+    unsigned Block;
+    unsigned Index;
+    unsigned StackedRegs; ///< callee's frame for the RSE pop.
+    /// The caller's stacked register window (r32..r127 and f32..f127).
+    /// The IA-64 register stack renames these per frame; a flat register
+    /// file must save and restore them instead. The RSE *timing* of the
+    /// same mechanism is charged by rseCall/rseReturn.
+    std::vector<uint64_t> SavedStacked;
+  };
+
+  void trap(std::string Message) {
+    if (!Trapped) {
+      Trapped = true;
+      TrapMessage = std::move(Message);
+    }
+  }
+
+  uint64_t read64(uint64_t Addr) {
+    if (Addr % 8 != 0) {
+      trap(formatString("unaligned read at 0x%llx",
+                        static_cast<unsigned long long>(Addr)));
+      return 0;
+    }
+    auto It = Memory.find(Addr >> 3);
+    return It == Memory.end() ? 0 : It->second;
+  }
+
+  void write64(uint64_t Addr, uint64_t Bits) {
+    if (Addr % 8 != 0) {
+      trap(formatString("unaligned write at 0x%llx",
+                        static_cast<unsigned long long>(Addr)));
+      return;
+    }
+    Memory[Addr >> 3] = Bits;
+  }
+
+  uint64_t reg(unsigned R) const {
+    assert(R < Regs.size() && "register id out of range");
+    return R == RegZero ? 0 : Regs[R];
+  }
+
+  void setReg(unsigned R, uint64_t V, uint64_t ReadyAt, bool FromLoad) {
+    assert(R < Regs.size() && "register id out of range");
+    if (R == RegZero)
+      return;
+    Regs[R] = V;
+    Ready[R] = ReadyAt;
+    LoadProduced[R] = FromLoad;
+  }
+
+  /// Advances the issue clock over source dependences and a slot.
+  void issue(const MInstr &I) {
+    unsigned Srcs[3];
+    unsigned Count;
+    I.sources(Srcs, Count);
+    uint64_t Avail = Cycle;
+    bool LoadLimited = false;
+    for (unsigned K = 0; K < Count; ++K) {
+      unsigned R = Srcs[K];
+      if (R == RegZero || R >= Regs.size())
+        continue;
+      if (Ready[R] > Avail) {
+        Avail = Ready[R];
+        LoadLimited = LoadProduced[R];
+      } else if (Ready[R] == Avail && Avail > Cycle && LoadProduced[R]) {
+        LoadLimited = true;
+      }
+    }
+    if (Avail > Cycle) {
+      if (LoadLimited)
+        Counters.DataAccessCycles += Avail - Cycle;
+      Cycle = Avail;
+      SlotsUsed = 0;
+    }
+    ++SlotsUsed;
+    if (SlotsUsed >= Config.IssueWidth) {
+      ++Cycle;
+      SlotsUsed = 0;
+    }
+    ++Counters.Instructions;
+  }
+
+  void takenBranch(unsigned Penalty) {
+    Cycle += Penalty;
+    SlotsUsed = 0;
+    ++Counters.TakenBranches;
+  }
+
+  /// RSE bookkeeping for a call into a frame of \p N stacked registers.
+  void rseCall(unsigned N) {
+    RseTotal += N;
+    if (RseTotal > RseSpilled + NumStackedRegs) {
+      uint64_t D = RseTotal - RseSpilled - NumStackedRegs;
+      RseSpilled += D;
+      Counters.RseSpills += D;
+      Counters.RseCycles += D * Config.RsePerRegCycles;
+    }
+  }
+
+  void rseReturn(unsigned N) {
+    RseTotal -= N;
+    if (RseSpilled > RseTotal) {
+      uint64_t D = RseSpilled - RseTotal;
+      RseSpilled -= D;
+      Counters.RseFills += D;
+      Counters.RseCycles += D * Config.RsePerRegCycles;
+    }
+  }
+
+  uint64_t performLoad(uint64_t Addr, bool Fp) {
+    ++Counters.RetiredLoads;
+    LastLoadLatency = Mem.loadLatency(Addr, Fp);
+    return read64(Addr);
+  }
+
+  void execute(const MInstr &I);
+
+  const MModule &M;
+  const SimConfig &Config;
+  Alat Table;
+  MemoryHierarchy Mem;
+
+  std::vector<uint64_t> Regs = std::vector<uint64_t>(FirstVirtualReg, 0);
+  std::vector<uint64_t> Ready = std::vector<uint64_t>(FirstVirtualReg, 0);
+  std::vector<bool> LoadProduced = std::vector<bool>(FirstVirtualReg, 0);
+  std::unordered_map<uint64_t, uint64_t> Memory;
+  uint64_t HeapTop = interp::layout::HeapBase;
+
+  const MFunction *CurF = nullptr;
+  unsigned CurBlock = 0;
+  unsigned CurIndex = 0;
+  std::vector<ReturnPoint> CallStack;
+
+  uint64_t Cycle = 0;
+  unsigned SlotsUsed = 0;
+  unsigned LastLoadLatency = 0;
+  uint64_t RseTotal = 0;
+  uint64_t RseSpilled = 0;
+
+  PerfCounters Counters;
+  std::vector<std::string> Output;
+  bool Trapped = false;
+  bool Finished = false;
+  std::string TrapMessage;
+};
+
+void Machine::execute(const MInstr &I) {
+  auto S1 = [&] { return reg(I.Rs1); };
+  auto S2 = [&] { return I.HasImm ? static_cast<uint64_t>(I.Imm)
+                                  : reg(I.Rs2); };
+  auto Int = [](int64_t V) { return static_cast<uint64_t>(V); };
+  auto Dbl = [](double V) { return std::bit_cast<uint64_t>(V); };
+  auto AsI = [](uint64_t V) { return static_cast<int64_t>(V); };
+  auto AsD = [](uint64_t V) { return std::bit_cast<double>(V); };
+
+  issue(I);
+  LastLoadLatency = 0;
+
+  auto SetAlu = [&](uint64_t V, unsigned Latency = 1) {
+    setReg(I.Rd, V, Cycle + Latency - 1, false);
+  };
+
+  switch (I.Op) {
+  case MOp::MovI:
+    SetAlu(static_cast<uint64_t>(I.Imm));
+    break;
+  case MOp::Mov:
+    SetAlu(S1());
+    break;
+  case MOp::Add:
+    SetAlu(Int(AsI(S1()) + AsI(S2())));
+    break;
+  case MOp::Sub:
+    SetAlu(Int(AsI(S1()) - AsI(S2())));
+    break;
+  case MOp::Mul:
+    SetAlu(Int(AsI(S1()) * AsI(S2())), Config.MulLatency);
+    break;
+  case MOp::Div:
+    SetAlu(AsI(S2()) == 0 ? 0 : Int(AsI(S1()) / AsI(S2())),
+           Config.DivLatency);
+    break;
+  case MOp::Rem:
+    SetAlu(AsI(S2()) == 0 ? 0 : Int(AsI(S1()) % AsI(S2())),
+           Config.DivLatency);
+    break;
+  case MOp::And:
+    SetAlu(S1() & S2());
+    break;
+  case MOp::Or:
+    SetAlu(S1() | S2());
+    break;
+  case MOp::Xor:
+    SetAlu(S1() ^ S2());
+    break;
+  case MOp::Shl:
+    SetAlu(S1() << (S2() & 63));
+    break;
+  case MOp::Shr:
+    SetAlu(S1() >> (S2() & 63));
+    break;
+  case MOp::ShlAdd:
+    SetAlu((S1() << 3) + (I.HasImm ? static_cast<uint64_t>(I.Imm)
+                                   : reg(I.Rs2)));
+    break;
+  case MOp::CmpEq:
+    SetAlu(AsI(S1()) == AsI(S2()));
+    break;
+  case MOp::CmpNe:
+    SetAlu(AsI(S1()) != AsI(S2()));
+    break;
+  case MOp::CmpLt:
+    SetAlu(AsI(S1()) < AsI(S2()));
+    break;
+  case MOp::CmpLe:
+    SetAlu(AsI(S1()) <= AsI(S2()));
+    break;
+  case MOp::FAdd:
+    SetAlu(Dbl(AsD(S1()) + AsD(S2())), Config.FpLatency);
+    break;
+  case MOp::FSub:
+    SetAlu(Dbl(AsD(S1()) - AsD(S2())), Config.FpLatency);
+    break;
+  case MOp::FMul:
+    SetAlu(Dbl(AsD(S1()) * AsD(S2())), Config.FpLatency);
+    break;
+  case MOp::FDiv:
+    SetAlu(Dbl(AsD(S2()) == 0.0 ? 0.0 : AsD(S1()) / AsD(S2())),
+           Config.FpDivLatency);
+    break;
+  case MOp::FCmpLt:
+    SetAlu(AsD(S1()) < AsD(S2()), Config.FpLatency);
+    break;
+  case MOp::ICvtF:
+    SetAlu(Dbl(static_cast<double>(AsI(S1()))), Config.FpLatency);
+    break;
+  case MOp::FCvtI:
+    SetAlu(Int(static_cast<int64_t>(AsD(S1()))), Config.FpLatency);
+    break;
+  case MOp::Sel:
+    SetAlu(S1() != 0 ? reg(I.Rs2) : reg(I.Rs3));
+    break;
+
+  case MOp::Ld: {
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    uint64_t V = performLoad(Addr, I.FpVal);
+    setReg(I.Rd, V, Cycle + LastLoadLatency - 1, true);
+    break;
+  }
+  case MOp::LdA:
+  case MOp::LdSA: {
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    uint64_t V = performLoad(Addr, I.FpVal);
+    Table.allocate(I.Rd, Addr);
+    setReg(I.Rd, V, Cycle + LastLoadLatency - 1, true);
+    break;
+  }
+  case MOp::LdCClr:
+  case MOp::LdCNc: {
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    ++Counters.AlatChecks;
+    if (Table.check(I.Rd, Addr, /*Clear=*/I.Op == MOp::LdCClr)) {
+      // Hit: the register already holds the memory value; no latency.
+      // (Functionally we refresh it, which is a no-op on a hit.)
+      Regs[I.Rd] = read64(Addr);
+      break;
+    }
+    ++Counters.AlatCheckFailures;
+    uint64_t V = performLoad(Addr, I.FpVal);
+    if (I.Op == MOp::LdCNc)
+      Table.allocate(I.Rd, Addr);
+    setReg(I.Rd, V, Cycle + LastLoadLatency - 1, true);
+    break;
+  }
+  case MOp::St:
+  case MOp::StA: {
+    uint64_t Addr = S1() + static_cast<uint64_t>(I.Imm);
+    write64(Addr, reg(I.Rs3));
+    Mem.store(Addr);
+    Table.storeNotify(Addr);
+    ++Counters.RetiredStores;
+    if (I.Op == MOp::StA) {
+      if (!Config.UseStA) {
+        trap("st.a executed on a machine without the st.a extension");
+        break;
+      }
+      // The §2.5 extension: the store itself allocates the entry.
+      Table.allocate(I.Rs2, Addr);
+    }
+    break;
+  }
+  case MOp::InvalaE:
+    Table.invalidateRegister(I.Rs1);
+    break;
+  case MOp::AllocHeap: {
+    int64_t Count = I.HasImm ? I.Imm : AsI(S1());
+    if (Count < 1)
+      Count = 1;
+    uint64_t Bytes = (static_cast<uint64_t>(Count) * 8 + 63) & ~63ULL;
+    SetAlu(HeapTop);
+    HeapTop += Bytes;
+    break;
+  }
+  case MOp::Print: {
+    uint64_t Bits = reg(I.Rs1);
+    if (I.FpVal)
+      Output.push_back(formatString("%.6g", AsD(Bits)));
+    else
+      Output.push_back(formatString(
+          "%lld", static_cast<long long>(AsI(Bits))));
+    break;
+  }
+
+  case MOp::Br:
+    CurBlock = I.Target;
+    CurIndex = 0;
+    takenBranch(Config.TakenBranchPenalty);
+    return;
+  case MOp::BrCond:
+    if (S1() != 0) {
+      CurBlock = I.Target;
+      takenBranch(Config.TakenBranchPenalty);
+    } else {
+      CurBlock = I.FalseTarget;
+      takenBranch(Config.TakenBranchPenalty);
+    }
+    CurIndex = 0;
+    return;
+  case MOp::ChkA:
+    ++Counters.AlatChecks;
+    if (Table.checkRegister(I.Rs1)) {
+      CurBlock = I.Target;
+    } else {
+      ++Counters.AlatCheckFailures;
+      ++Counters.ChkARecoveries;
+      Cycle += Config.ChkMissPenalty;
+      SlotsUsed = 0;
+      CurBlock = I.Recovery;
+    }
+    CurIndex = 0;
+    return;
+  case MOp::Call: {
+    if (CallStack.size() >= 512) {
+      trap("call depth limit exceeded");
+      return;
+    }
+    ReturnPoint RP{CurF, I.Target, 0, I.Callee->StackedRegsUsed, {}};
+    RP.SavedStacked.reserve(2 * NumStackedRegs);
+    for (unsigned R = FirstStackedReg;
+         R < FirstStackedReg + NumStackedRegs; ++R)
+      RP.SavedStacked.push_back(Regs[R]);
+    for (unsigned R = FpRegBase + FirstStackedReg;
+         R < FpRegBase + FirstStackedReg + NumStackedRegs; ++R)
+      RP.SavedStacked.push_back(Regs[R]);
+    CallStack.push_back(std::move(RP));
+    rseCall(I.Callee->StackedRegsUsed);
+    CurF = I.Callee;
+    CurBlock = 0;
+    CurIndex = 0;
+    takenBranch(Config.CallPenalty);
+    return;
+  }
+  case MOp::Ret: {
+    if (CallStack.empty()) {
+      Finished = true;
+      return;
+    }
+    ReturnPoint RP = std::move(CallStack.back());
+    CallStack.pop_back();
+    rseReturn(RP.StackedRegs);
+    size_t K = 0;
+    for (unsigned R = FirstStackedReg;
+         R < FirstStackedReg + NumStackedRegs; ++R, ++K) {
+      Regs[R] = RP.SavedStacked[K];
+      Ready[R] = Cycle;
+    }
+    for (unsigned R = FpRegBase + FirstStackedReg;
+         R < FpRegBase + FirstStackedReg + NumStackedRegs; ++R, ++K) {
+      Regs[R] = RP.SavedStacked[K];
+      Ready[R] = Cycle;
+    }
+    CurF = RP.F;
+    CurBlock = RP.Block;
+    CurIndex = RP.Index;
+    takenBranch(Config.CallPenalty);
+    return;
+  }
+  case MOp::Nop:
+    break;
+  }
+  ++CurIndex;
+}
+
+SimResult Machine::run() {
+  SimResult Result;
+  const MFunction *Main = M.findFunction("main");
+  if (!Main) {
+    Result.Error = "module has no main function";
+    return Result;
+  }
+  Regs[RegSP] = interp::layout::StackBase;
+  Regs[RegFP] = interp::layout::StackBase;
+  CurF = Main;
+  rseCall(Main->StackedRegsUsed);
+
+  while (!Finished && !Trapped) {
+    if (Counters.Instructions >= Config.MaxInstructions) {
+      trap("instruction budget exhausted");
+      break;
+    }
+    if (CurBlock >= CurF->numBlocks() ||
+        CurIndex >= CurF->block(CurBlock).Instrs.size()) {
+      trap(formatString("fell off block b%u of %s", CurBlock,
+                        CurF->getName().c_str()));
+      break;
+    }
+    execute(CurF->block(CurBlock).Instrs[CurIndex]);
+  }
+
+  Result.Output = std::move(Output);
+  if (Trapped) {
+    Result.Error = TrapMessage;
+    return Result;
+  }
+  Result.Ok = true;
+  Result.ExitValue = static_cast<int64_t>(Regs[RegRetInt]);
+  Counters.Cycles = Cycle;
+  Counters.L1Hits = Mem.l1Hits();
+  Counters.L1Misses = Mem.l1Misses();
+  Counters.L2Hits = Mem.l2Hits();
+  Counters.L2Misses = Mem.l2Misses();
+  Result.Counters = Counters;
+  Result.Alat = Table.stats();
+  return Result;
+}
+
+} // namespace
+
+SimResult srp::arch::simulate(const codegen::MModule &M,
+                              const SimConfig &Config) {
+  Machine Mach(M, Config);
+  return Mach.run();
+}

@@ -1,0 +1,36 @@
+//===- Lowering.h - IR to machine IR lowering -------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the (possibly promoted) IR to ITA machine code:
+///
+///  * memory references expand to address arithmetic plus chain loads;
+///  * speculation flags map to the ld.a/ld.sa/ld.c/chk.a family, with
+///    chk.a recovery blocks generated in the Ju-et-al. style (reload the
+///    address chain and the data, branch back);
+///  * st.a stores carry the ALAT register of the promoted temp;
+///  * calls pass arguments through the callee's frame below SP; the frame
+///    pointer is callee-saved in the frame.
+///
+/// The output uses virtual registers; run allocateRegisters() next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_CODEGEN_LOWERING_H
+#define SRP_CODEGEN_LOWERING_H
+
+#include "codegen/MIR.h"
+
+#include <memory>
+
+namespace srp::codegen {
+
+/// Lowers \p M; the result still uses virtual registers.
+std::unique_ptr<MModule> lowerModule(const ir::Module &M);
+
+} // namespace srp::codegen
+
+#endif // SRP_CODEGEN_LOWERING_H

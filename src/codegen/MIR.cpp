@@ -1,0 +1,244 @@
+//===- MIR.cpp - IA-64-style machine IR ------------------------------------===//
+
+#include "codegen/MIR.h"
+
+#include "support/Error.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+using namespace srp;
+using namespace srp::codegen;
+
+const char *srp::codegen::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::MovI:
+    return "movi";
+  case MOp::Mov:
+    return "mov";
+  case MOp::Add:
+    return "add";
+  case MOp::Sub:
+    return "sub";
+  case MOp::Mul:
+    return "mul";
+  case MOp::Div:
+    return "div";
+  case MOp::Rem:
+    return "rem";
+  case MOp::And:
+    return "and";
+  case MOp::Or:
+    return "or";
+  case MOp::Xor:
+    return "xor";
+  case MOp::Shl:
+    return "shl";
+  case MOp::Shr:
+    return "shr";
+  case MOp::ShlAdd:
+    return "shladd";
+  case MOp::CmpEq:
+    return "cmp.eq";
+  case MOp::CmpNe:
+    return "cmp.ne";
+  case MOp::CmpLt:
+    return "cmp.lt";
+  case MOp::CmpLe:
+    return "cmp.le";
+  case MOp::FAdd:
+    return "fadd";
+  case MOp::FSub:
+    return "fsub";
+  case MOp::FMul:
+    return "fmul";
+  case MOp::FDiv:
+    return "fdiv";
+  case MOp::FCmpLt:
+    return "fcmp.lt";
+  case MOp::ICvtF:
+    return "setf";
+  case MOp::FCvtI:
+    return "getf";
+  case MOp::Sel:
+    return "sel";
+  case MOp::Ld:
+    return "ld8";
+  case MOp::LdA:
+    return "ld8.a";
+  case MOp::LdSA:
+    return "ld8.sa";
+  case MOp::LdCClr:
+    return "ld8.c.clr";
+  case MOp::LdCNc:
+    return "ld8.c.nc";
+  case MOp::St:
+    return "st8";
+  case MOp::StA:
+    return "st8.a";
+  case MOp::InvalaE:
+    return "invala.e";
+  case MOp::AllocHeap:
+    return "alloc.heap";
+  case MOp::Print:
+    return "print";
+  case MOp::Br:
+    return "br";
+  case MOp::BrCond:
+    return "br.cond";
+  case MOp::ChkA:
+    return "chk.a.nc";
+  case MOp::Call:
+    return "br.call";
+  case MOp::Ret:
+    return "br.ret";
+  case MOp::Nop:
+    return "nop";
+  }
+  SRP_UNREACHABLE("invalid MOp");
+}
+
+void MInstr::sources(unsigned Out[3], unsigned &Count) const {
+  Count = 0;
+  auto Push = [&](unsigned Reg) {
+    if (Reg != NoReg)
+      Out[Count++] = Reg;
+  };
+  switch (Op) {
+  case MOp::MovI:
+  case MOp::Br:
+  case MOp::Ret:
+  case MOp::Nop:
+  case MOp::Call:
+    break;
+  case MOp::St:
+  case MOp::StA:
+    Push(Rs1);
+    Push(Rs3);
+    break;
+  case MOp::Sel:
+    Push(Rs1);
+    Push(Rs2);
+    Push(Rs3);
+    break;
+  default:
+    Push(Rs1);
+    if (!HasImm)
+      Push(Rs2);
+    break;
+  }
+}
+
+static std::string regName(unsigned Reg) {
+  if (Reg == NoReg)
+    return "-";
+  if (isVirtualReg(Reg))
+    return formatString("v%u", Reg - FirstVirtualReg);
+  if (isFpReg(Reg))
+    return formatString("f%u", Reg - FpRegBase);
+  return formatString("r%u", Reg);
+}
+
+std::string srp::codegen::minstrToString(const MInstr &I) {
+  std::string Out = mopName(I.Op);
+  auto Append = [&Out](const std::string &S) { Out += S; };
+  switch (I.Op) {
+  case MOp::MovI:
+    Append(formatString(" %s = %lld", regName(I.Rd).c_str(),
+                        static_cast<long long>(I.Imm)));
+    break;
+  case MOp::Mov:
+  case MOp::ICvtF:
+  case MOp::FCvtI:
+    Append(formatString(" %s = %s", regName(I.Rd).c_str(),
+                        regName(I.Rs1).c_str()));
+    break;
+  case MOp::Sel:
+    Append(formatString(" %s = %s ? %s : %s", regName(I.Rd).c_str(),
+                        regName(I.Rs1).c_str(), regName(I.Rs2).c_str(),
+                        regName(I.Rs3).c_str()));
+    break;
+  case MOp::Ld:
+  case MOp::LdA:
+  case MOp::LdSA:
+  case MOp::LdCClr:
+  case MOp::LdCNc:
+  case MOp::AllocHeap:
+    Append(formatString(" %s = [%s%+lld]", regName(I.Rd).c_str(),
+                        regName(I.Rs1).c_str(),
+                        static_cast<long long>(I.Imm)));
+    break;
+  case MOp::St:
+    Append(formatString(" [%s%+lld] = %s", regName(I.Rs1).c_str(),
+                        static_cast<long long>(I.Imm),
+                        regName(I.Rs3).c_str()));
+    break;
+  case MOp::StA:
+    Append(formatString(" [%s%+lld] = %s, alat(%s)",
+                        regName(I.Rs1).c_str(),
+                        static_cast<long long>(I.Imm),
+                        regName(I.Rs3).c_str(), regName(I.Rs2).c_str()));
+    break;
+  case MOp::InvalaE:
+  case MOp::Print:
+    Append(formatString(" %s", regName(I.Rs1).c_str()));
+    break;
+  case MOp::Br:
+    Append(formatString(" b%u", I.Target));
+    break;
+  case MOp::BrCond:
+    Append(formatString(" %s, b%u, b%u", regName(I.Rs1).c_str(), I.Target,
+                        I.FalseTarget));
+    break;
+  case MOp::ChkA:
+    Append(formatString(" %s, recover=b%u, resume=b%u",
+                        regName(I.Rs1).c_str(), I.Recovery, I.Target));
+    break;
+  case MOp::Call:
+    Append(formatString(" %s, resume=b%u",
+                        I.Callee ? I.Callee->getName().c_str() : "<null>",
+                        I.Target));
+    break;
+  case MOp::Ret:
+  case MOp::Nop:
+    break;
+  default:
+    if (I.HasImm)
+      Append(formatString(" %s = %s, %lld", regName(I.Rd).c_str(),
+                          regName(I.Rs1).c_str(),
+                          static_cast<long long>(I.Imm)));
+    else
+      Append(formatString(" %s = %s, %s", regName(I.Rd).c_str(),
+                          regName(I.Rs1).c_str(),
+                          regName(I.Rs2).c_str()));
+    break;
+  }
+  return Out;
+}
+
+MFunction *MModule::findFunction(std::string_view Name) {
+  for (auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+void srp::codegen::printMFunction(const MFunction &F, OStream &OS) {
+  OS << F.getName() << ":  // frame " << F.frameSize() << " bytes, "
+     << F.StackedRegsUsed << " stacked regs\n";
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    const MBlock &BB = F.block(BI);
+    OS << "b" << BI << ": // " << BB.Name;
+    if (BB.IsRecovery)
+      OS << " (recovery)";
+    OS << '\n';
+    for (const MInstr &I : BB.Instrs)
+      OS << "  " << minstrToString(I) << '\n';
+  }
+}
+
+void srp::codegen::printMModule(const MModule &M, OStream &OS) {
+  for (unsigned I = 0; I < M.numFunctions(); ++I) {
+    printMFunction(*M.function(I), OS);
+    OS << '\n';
+  }
+}

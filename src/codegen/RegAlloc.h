@@ -1,0 +1,48 @@
+//===- RegAlloc.h - Linear-scan register allocation -------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-scan allocation of virtual registers onto the stacked register
+/// file (r32..r127 and f32..f127). Live ranges come from an iterative
+/// block liveness analysis, so loop-carried values are handled correctly.
+///
+/// ALAT-tracked registers (targets of ld.a/ld.sa/ld.c, the st.a register,
+/// chk.a sources and invala.e operands) are never spilled: an ALAT entry
+/// is keyed by its physical register, so a spilled temp would silently
+/// lose its entry. They get allocation priority instead.
+///
+/// After allocation the function records its register-stack frame size
+/// (StackedRegsUsed), which the simulator's RSE model charges on deep
+/// call chains — the effect Figure 11 measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_CODEGEN_REGALLOC_H
+#define SRP_CODEGEN_REGALLOC_H
+
+#include "codegen/MIR.h"
+
+namespace srp::codegen {
+
+struct RegAllocOptions {
+  unsigned IntPoolSize = NumStackedRegs; ///< allocatable int registers
+  unsigned FpPoolSize = NumStackedRegs;  ///< allocatable fp registers
+};
+
+struct RegAllocStats {
+  unsigned SpilledRegs = 0;
+  unsigned MaxIntPressure = 0;
+  unsigned MaxFpPressure = 0;
+};
+
+/// Allocates every function of \p M in place and patches the prologue
+/// frame-open immediates.
+RegAllocStats allocateRegisters(MModule &M, const RegAllocOptions &Options =
+                                                RegAllocOptions());
+
+} // namespace srp::codegen
+
+#endif // SRP_CODEGEN_REGALLOC_H

@@ -1,0 +1,86 @@
+//===- Pipeline.h - The speculative register promotion pipeline -*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end flow of the paper's evaluation (§4): run a module on
+/// its *train* input collecting alias and edge profiles, apply PRE-based
+/// register promotion under a chosen strategy, lower to ITA machine code,
+/// and simulate the *ref* input, reporting the pfmon-style counters.
+///
+/// The usual experiment runs the same workload under two or more
+/// strategies and compares counters — runExperiment() packages that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_CORE_PIPELINE_H
+#define SRP_CORE_PIPELINE_H
+
+#include "arch/Simulator.h"
+#include "codegen/RegAlloc.h"
+#include "pre/Promotion.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace srp::ir {
+class Module;
+} // namespace srp::ir
+
+namespace srp::core {
+
+/// A workload is a builder producing a fresh module for a given input
+/// scale (the pipeline compiles the train build and the ref build
+/// separately, exactly like a profile-feedback compiler would).
+struct Workload {
+  std::string Name;
+  /// Builds the program; \p Scale selects the input size.
+  std::function<void(ir::Module &, uint64_t Scale)> Build;
+  uint64_t TrainScale = 1;
+  uint64_t RefScale = 4;
+  bool FloatingPoint = false; ///< FP-dominated (ammp/art/equake class).
+};
+
+/// Everything the pipeline can be configured with.
+struct PipelineConfig {
+  pre::PromotionConfig Promotion;
+  arch::SimConfig Sim;
+  codegen::RegAllocOptions RegAlloc;
+  bool UseAliasProfile = true; ///< Feed the train alias profile back.
+  bool UseEdgeProfile = true;
+  /// Use the inclusion-based Andersen analysis instead of Steensgaard
+  /// (the precision ablation: how much would a better static analysis
+  /// already buy without speculation?).
+  bool UseAndersen = false;
+  uint64_t InterpFuel = 400'000'000;
+};
+
+/// One compiled-and-simulated run.
+struct PipelineResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<std::string> Output;   ///< Simulated program output.
+  arch::SimResult Sim;               ///< Counters etc.
+  pre::PromotionStats Promotion;     ///< What the compiler did.
+  codegen::RegAllocStats RegAlloc;
+  unsigned MaxStackedRegs = 0;       ///< Largest register-stack frame.
+};
+
+/// Compiles \p W with \p Config and simulates the ref input. The module
+/// is rebuilt from scratch for both the train and ref phases.
+PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config);
+
+/// Runs the interpreter directly on the ref build (the oracle).
+std::vector<std::string> oracleOutput(const Workload &W, uint64_t Fuel =
+                                                             400'000'000);
+
+/// Convenience: builds a PipelineConfig for one of the paper's three
+/// strategies with everything else at defaults.
+PipelineConfig configFor(const pre::PromotionConfig &Promotion);
+
+} // namespace srp::core
+
+#endif // SRP_CORE_PIPELINE_H

@@ -1,0 +1,459 @@
+//===- Interpreter.cpp - IR execution and profiling -------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::interp;
+
+namespace srp::interp {
+
+/// One run's mutable state: memory, the object registry for reverse
+/// address-to-symbol lookup, and the recursive statement executor.
+class Execution {
+public:
+  Execution(const ir::Module &M, AliasProfile *AP, EdgeProfile *EP,
+            uint64_t Fuel)
+      : M(M), AP(AP), EP(EP), FuelLeft(Fuel) {}
+
+  RunResult run() {
+    RunResult Result;
+    const Function *Main = M.findFunction("main");
+    if (!Main) {
+      Result.Error = "module has no main function";
+      return Result;
+    }
+    layoutGlobals();
+    uint64_t RetBits = 0;
+    if (!callFunction(*Main, {}, RetBits)) {
+      Result.Error = TrapMessage;
+      Result.Output = std::move(Output);
+      return Result;
+    }
+    Result.Ok = true;
+    Result.Output = std::move(Output);
+    Result.StmtsExecuted = StmtsExecuted;
+    Result.LoadsExecuted = LoadsExecuted;
+    Result.StoresExecuted = StoresExecuted;
+    Result.ExitValue = static_cast<int64_t>(RetBits);
+    return Result;
+  }
+
+private:
+  struct ObjectInfo {
+    uint64_t End;       ///< One past the last byte.
+    unsigned SymbolId;  ///< Declared symbol or heap-site symbol.
+  };
+
+  struct Frame {
+    const Function *F = nullptr;
+    std::vector<uint64_t> Temps;
+    std::map<const Symbol *, uint64_t> SlotAddr;
+    uint64_t SavedStackTop = 0;
+  };
+
+  void trap(std::string Message);
+  bool consumeFuel();
+
+  void layoutGlobals();
+  uint64_t allocateObject(const Symbol &Sym, uint64_t Bytes, bool OnStack);
+
+  uint64_t read64(uint64_t Addr);
+  void write64(uint64_t Addr, uint64_t Bits);
+  unsigned symbolAt(uint64_t Addr) const;
+
+  uint64_t evalOperand(Frame &Fr, const Operand &Op);
+  uint64_t evalAssign(Frame &Fr, const Stmt &S);
+  /// Returns the final access address; \p ChainPtr receives the value of
+  /// the last chain pointer (the address before index/offset are applied),
+  /// which is what Load.AddrDst exposes.
+  uint64_t computeAccessAddress(Frame &Fr, const Stmt &S, const MemRef &Ref,
+                                uint64_t &ChainPtr);
+  uint64_t symbolAddress(Frame &Fr, const Symbol *Sym);
+
+  bool callFunction(const Function &F, const std::vector<uint64_t> &Args,
+                    uint64_t &RetBits);
+  /// Executes one block's statements; returns the successor block, or null
+  /// on return (RetBits filled).
+  const BasicBlock *execBlock(Frame &Fr, const BasicBlock *BB,
+                              uint64_t &RetBits);
+
+  const ir::Module &M;
+  AliasProfile *AP;
+  EdgeProfile *EP;
+  uint64_t FuelLeft;
+
+  std::unordered_map<uint64_t, uint64_t> Memory; ///< Keyed by Addr >> 3.
+  std::map<uint64_t, ObjectInfo> Objects;        ///< Keyed by start address.
+  uint64_t StackTop = layout::StackBase;
+  uint64_t HeapTop = layout::HeapBase;
+  unsigned CallDepth = 0;
+
+  std::vector<std::string> Output;
+  uint64_t StmtsExecuted = 0;
+  uint64_t LoadsExecuted = 0;
+  uint64_t StoresExecuted = 0;
+
+  std::map<const Symbol *, uint64_t> GlobalAddr;
+
+  bool Trapped = false;
+  std::string TrapMessage;
+};
+
+} // namespace srp::interp
+
+// Traps record the first failure and set Trapped; every execution layer
+// checks the flag and unwinds with inert values. The project has no C++
+// exceptions, and fatalError would kill the process, which tests that
+// exercise trapping programs must survive.
+void Execution::trap(std::string Message) {
+  if (!Trapped) {
+    Trapped = true;
+    TrapMessage = std::move(Message);
+  }
+}
+
+bool Execution::consumeFuel() {
+  if (FuelLeft == 0) {
+    trap("fuel exhausted");
+    return false;
+  }
+  --FuelLeft;
+  return true;
+}
+
+void Execution::layoutGlobals() {
+  uint64_t Next = layout::GlobalBase;
+  for (const Symbol *Global : M.globals()) {
+    Objects[Next] = ObjectInfo{Next + Global->sizeInBytes(), Global->Id};
+    GlobalAddr[Global] = Next;
+    Next += (Global->sizeInBytes() + 63) & ~63ULL;
+  }
+}
+
+uint64_t Execution::read64(uint64_t Addr) {
+  if (Addr % 8 != 0) {
+    trap(formatString("unaligned read at 0x%llx",
+                      static_cast<unsigned long long>(Addr)));
+    return 0;
+  }
+  auto It = Memory.find(Addr >> 3);
+  return It == Memory.end() ? 0 : It->second;
+}
+
+void Execution::write64(uint64_t Addr, uint64_t Bits) {
+  if (Addr % 8 != 0) {
+    trap(formatString("unaligned write at 0x%llx",
+                      static_cast<unsigned long long>(Addr)));
+    return;
+  }
+  Memory[Addr >> 3] = Bits;
+}
+
+unsigned Execution::symbolAt(uint64_t Addr) const {
+  auto It = Objects.upper_bound(Addr);
+  if (It == Objects.begin())
+    return AliasProfile::UnknownTarget;
+  --It;
+  if (Addr >= It->second.End)
+    return AliasProfile::UnknownTarget;
+  return It->second.SymbolId;
+}
+
+uint64_t Execution::evalOperand(Frame &Fr, const Operand &Op) {
+  switch (Op.K) {
+  case Operand::Kind::Temp:
+    return Fr.Temps[Op.TempId];
+  case Operand::Kind::ConstInt:
+    return static_cast<uint64_t>(Op.IntVal);
+  case Operand::Kind::ConstFloat:
+    return std::bit_cast<uint64_t>(Op.FloatVal);
+  case Operand::Kind::None:
+    trap("evaluating a missing operand");
+    return 0;
+  }
+  SRP_UNREACHABLE("invalid operand kind");
+}
+
+uint64_t Execution::evalAssign(Frame &Fr, const Stmt &S) {
+  uint64_t A = evalOperand(Fr, S.A);
+  uint64_t B = S.B.isNone() ? 0 : evalOperand(Fr, S.B);
+  auto SA = static_cast<int64_t>(A);
+  auto SB = static_cast<int64_t>(B);
+  auto FA = std::bit_cast<double>(A);
+  auto FB = std::bit_cast<double>(B);
+  auto I = [](int64_t V) { return static_cast<uint64_t>(V); };
+  auto D = [](double V) { return std::bit_cast<uint64_t>(V); };
+  switch (S.Op) {
+  case Opcode::Copy:
+    return A;
+  case Opcode::Add:
+    return I(SA + SB);
+  case Opcode::Sub:
+    return I(SA - SB);
+  case Opcode::Mul:
+    return I(SA * SB);
+  case Opcode::Div:
+    return SB == 0 ? 0 : I(SA / SB);
+  case Opcode::Rem:
+    return SB == 0 ? 0 : I(SA % SB);
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & 63);
+  case Opcode::Shr:
+    return A >> (B & 63);
+  case Opcode::CmpEq:
+    return SA == SB;
+  case Opcode::CmpNe:
+    return SA != SB;
+  case Opcode::CmpLt:
+    return SA < SB;
+  case Opcode::CmpLe:
+    return SA <= SB;
+  case Opcode::FAdd:
+    return D(FA + FB);
+  case Opcode::FSub:
+    return D(FA - FB);
+  case Opcode::FMul:
+    return D(FA * FB);
+  case Opcode::FDiv:
+    return D(FB == 0.0 ? 0.0 : FA / FB);
+  case Opcode::FCmpLt:
+    return FA < FB;
+  case Opcode::IntToFp:
+    return D(static_cast<double>(SA));
+  case Opcode::FpToInt:
+    return I(static_cast<int64_t>(FA));
+  case Opcode::Select:
+    return A != 0 ? B : evalOperand(Fr, S.C);
+  }
+  SRP_UNREACHABLE("invalid opcode");
+}
+
+uint64_t Execution::symbolAddress(Frame &Fr, const Symbol *Sym) {
+  if (Sym->Kind == SymbolKind::Global) {
+    auto It = GlobalAddr.find(Sym);
+    if (It == GlobalAddr.end()) {
+      trap("reference to unlaid-out global");
+      return 0;
+    }
+    return It->second;
+  }
+  auto It = Fr.SlotAddr.find(Sym);
+  if (It == Fr.SlotAddr.end()) {
+    trap(formatString("reference to foreign local '%s'", Sym->Name.c_str()));
+    return 0;
+  }
+  return It->second;
+}
+
+uint64_t Execution::computeAccessAddress(Frame &Fr, const Stmt &S,
+                                         const MemRef &Ref,
+                                         uint64_t &ChainPtr) {
+  uint64_t Addr = symbolAddress(Fr, Ref.Base);
+  int64_t Extra = Ref.Offset;
+  if (Ref.hasIndex())
+    Extra += static_cast<int64_t>(evalOperand(Fr, Ref.Index)) * 8;
+  ChainPtr = Addr;
+  for (unsigned Level = 1; Level <= Ref.Depth; ++Level) {
+    Addr = read64(Addr);
+    ++LoadsExecuted;
+    ChainPtr = Addr;
+    if (Level == Ref.Depth)
+      Addr += static_cast<uint64_t>(Extra);
+    if (AP)
+      AP->recordTarget(Fr.F, S.Id, Level, symbolAt(Addr));
+  }
+  if (Ref.Depth == 0)
+    Addr += static_cast<uint64_t>(Extra);
+  return Addr;
+}
+
+uint64_t Execution::allocateObject(const Symbol &Sym, uint64_t Bytes,
+                                   bool OnStack) {
+  Bytes = (Bytes + 7) & ~7ULL;
+  if (Bytes == 0)
+    Bytes = 8;
+  uint64_t Start;
+  if (OnStack) {
+    StackTop -= (Bytes + 63) & ~63ULL;
+    Start = StackTop;
+  } else {
+    Start = HeapTop;
+    HeapTop += (Bytes + 63) & ~63ULL;
+  }
+  Objects[Start] = ObjectInfo{Start + Bytes, Sym.Id};
+  return Start;
+}
+
+const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
+                                       uint64_t &RetBits) {
+  if (EP)
+    EP->countBlock(BB);
+  for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+    if (Trapped || !consumeFuel())
+      return nullptr;
+    const Stmt &S = *BB->stmt(SI);
+    ++StmtsExecuted;
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      Fr.Temps[S.Dst] = evalAssign(Fr, S);
+      break;
+    case StmtKind::Load: {
+      // AddrSrc checking loads (ld.c) take the saved chain pointer and
+      // re-apply index/offset; chk.a checks re-walk the whole chain (the
+      // recovery reloads the address) and refresh the saved pointer.
+      bool IsChkA =
+          S.Flag == SpecFlag::ChkA || S.Flag == SpecFlag::ChkAnc;
+      uint64_t Addr;
+      uint64_t ChainPtr = 0;
+      if (S.hasAddrSrc() && !IsChkA) {
+        int64_t Extra = S.Ref.Offset;
+        if (S.Ref.hasIndex())
+          Extra += static_cast<int64_t>(evalOperand(Fr, S.Ref.Index)) * 8;
+        Addr = S.Ref.isIndirect()
+                   ? Fr.Temps[S.AddrSrc] + static_cast<uint64_t>(Extra)
+                   : Fr.Temps[S.AddrSrc];
+      } else {
+        Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
+        if (IsChkA && S.AddrSrc != NoTemp)
+          Fr.Temps[S.AddrSrc] = ChainPtr;
+      }
+      if (S.AddrDst != NoTemp)
+        Fr.Temps[S.AddrDst] = S.Ref.isIndirect() ? ChainPtr : Addr;
+      Fr.Temps[S.Dst] = read64(Addr);
+      ++LoadsExecuted;
+      break;
+    }
+    case StmtKind::Store: {
+      uint64_t ChainPtr = 0;
+      uint64_t Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
+      if (S.AddrDst != NoTemp)
+        Fr.Temps[S.AddrDst] = Addr; // stores expose the final address
+      write64(Addr, evalOperand(Fr, S.A));
+      ++StoresExecuted;
+      break;
+    }
+    case StmtKind::AddrOf: {
+      uint64_t Addr = symbolAddress(Fr, S.Ref.Base);
+      if (S.Ref.hasIndex())
+        Addr += static_cast<uint64_t>(
+                    static_cast<int64_t>(evalOperand(Fr, S.Ref.Index))) *
+                8;
+      Addr += static_cast<uint64_t>(S.Ref.Offset);
+      Fr.Temps[S.Dst] = Addr;
+      break;
+    }
+    case StmtKind::Alloc: {
+      int64_t Count = static_cast<int64_t>(evalOperand(Fr, S.A));
+      if (Count < 1)
+        Count = 1;
+      Fr.Temps[S.Dst] = allocateObject(
+          *S.HeapSym, static_cast<uint64_t>(Count) * 8, /*OnStack=*/false);
+      break;
+    }
+    case StmtKind::Call: {
+      std::vector<uint64_t> Args;
+      Args.reserve(S.Args.size());
+      for (const Operand &Arg : S.Args)
+        Args.push_back(evalOperand(Fr, Arg));
+      uint64_t CallRet = 0;
+      if (!callFunction(*S.Callee, Args, CallRet))
+        return nullptr;
+      if (S.Dst != NoTemp)
+        Fr.Temps[S.Dst] = CallRet;
+      break;
+    }
+    case StmtKind::Invala:
+      // Architectural hint; no functional effect.
+      break;
+    case StmtKind::Print: {
+      uint64_t Bits = evalOperand(Fr, S.A);
+      bool IsFloat = S.A.K == Operand::Kind::ConstFloat ||
+                     (S.A.isTemp() &&
+                      Fr.F->tempType(S.A.TempId) == TypeKind::Float);
+      if (IsFloat)
+        Output.push_back(
+            formatString("%.6g", std::bit_cast<double>(Bits)));
+      else
+        Output.push_back(formatString(
+            "%lld", static_cast<long long>(static_cast<int64_t>(Bits))));
+      break;
+    }
+    }
+  }
+  if (Trapped)
+    return nullptr;
+  const Terminator &T = BB->term();
+  switch (T.Kind) {
+  case TermKind::Br:
+    if (EP)
+      EP->countEdge(BB, T.Target);
+    return T.Target;
+  case TermKind::CondBr: {
+    bool Taken = evalOperand(Fr, T.Cond) != 0;
+    const BasicBlock *Next = Taken ? T.Target : T.FalseTarget;
+    if (EP)
+      EP->countEdge(BB, Next);
+    return Next;
+  }
+  case TermKind::Ret:
+    RetBits = T.RetVal.isNone() ? 0 : evalOperand(Fr, T.RetVal);
+    return nullptr;
+  }
+  SRP_UNREACHABLE("invalid terminator");
+}
+
+bool Execution::callFunction(const Function &F,
+                             const std::vector<uint64_t> &Args,
+                             uint64_t &RetBits) {
+  if (++CallDepth > 512) {
+    trap("call depth limit exceeded");
+    --CallDepth;
+    return false;
+  }
+  Frame Fr;
+  Fr.F = &F;
+  Fr.Temps.assign(F.numTemps(), 0);
+  Fr.SavedStackTop = StackTop;
+
+  auto PlaceSlot = [&](const Symbol *Sym) {
+    Fr.SlotAddr[Sym] = allocateObject(*Sym, Sym->sizeInBytes(),
+                                      /*OnStack=*/true);
+  };
+  for (const Symbol *Formal : F.formals())
+    PlaceSlot(Formal);
+  for (const Symbol *Local : F.locals())
+    PlaceSlot(Local);
+  for (size_t I = 0; I < Args.size() && I < F.formals().size(); ++I)
+    write64(Fr.SlotAddr[F.formals()[I]], Args[I]);
+
+  const BasicBlock *BB = F.entry();
+  RetBits = 0;
+  while (BB && !Trapped)
+    BB = execBlock(Fr, BB, RetBits);
+
+  // Pop the frame: remove stack objects and restore the stack pointer.
+  for (auto &[Sym, Addr] : Fr.SlotAddr)
+    Objects.erase(Addr);
+  StackTop = Fr.SavedStackTop;
+  --CallDepth;
+  return !Trapped;
+}
+
+RunResult Interpreter::run(uint64_t Fuel) {
+  Execution Exec(M, AP, EP, Fuel);
+  return Exec.run();
+}

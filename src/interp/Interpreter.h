@@ -1,0 +1,73 @@
+//===- Interpreter.h - IR execution and profiling ---------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Module directly. The interpreter is (a) the correctness
+/// oracle the differential tests compare every compiled configuration
+/// against, and (b) the profiling vehicle: with profiles attached it
+/// records per-site alias targets (train run) and edge counts.
+///
+/// The memory layout (globals / stack / heap bases) matches the simulator
+/// so that address-dependent behaviour cannot diverge between the oracle
+/// and compiled code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_INTERP_INTERPRETER_H
+#define SRP_INTERP_INTERPRETER_H
+
+#include "interp/Profile.h"
+#include "ir/CFG.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace srp::interp {
+
+/// Shared address-space constants (also used by the simulator's loader).
+namespace layout {
+inline constexpr uint64_t GlobalBase = 0x0000000000010000ULL;
+inline constexpr uint64_t StackBase = 0x0000000040000000ULL; ///< grows down
+inline constexpr uint64_t HeapBase = 0x0000000080000000ULL;  ///< grows up
+} // namespace layout
+
+/// Outcome of one interpreted run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;                ///< Set when !Ok (trap, fuel, ...).
+  std::vector<std::string> Output;  ///< One entry per executed print.
+  uint64_t StmtsExecuted = 0;
+  uint64_t LoadsExecuted = 0;
+  uint64_t StoresExecuted = 0;
+  int64_t ExitValue = 0;            ///< main's return value (0 if void).
+};
+
+/// Direct executor for the IR.
+class Interpreter {
+public:
+  explicit Interpreter(const ir::Module &M) : M(M) {}
+
+  /// Attaches an alias profile to fill during subsequent runs.
+  void setAliasProfile(AliasProfile *Profile) { AP = Profile; }
+
+  /// Attaches an edge profile to fill during subsequent runs.
+  void setEdgeProfile(EdgeProfile *Profile) { EP = Profile; }
+
+  /// Runs main() with at most \p Fuel statements; resets memory first.
+  RunResult run(uint64_t Fuel = 100'000'000);
+
+private:
+  friend class Execution;
+
+  const ir::Module &M;
+  AliasProfile *AP = nullptr;
+  EdgeProfile *EP = nullptr;
+};
+
+} // namespace srp::interp
+
+#endif // SRP_INTERP_INTERPRETER_H

@@ -1,0 +1,131 @@
+//===- Profile.h - Alias and edge profiles ----------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime feedback containers. The paper's framework instruments a run on
+/// the train input and collects, for every load/store site, the set of
+/// symbols the access actually touched (Chen et al. [7,8]); the HSSA
+/// builder then marks χ/μ whose target never appears in the profile as
+/// speculative. The edge profile guides PRE's profitability heuristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_INTERP_PROFILE_H
+#define SRP_INTERP_PROFILE_H
+
+#include "ir/CFG.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace srp::interp {
+
+/// Per-site observed points-to targets.
+///
+/// A site is (function, statement id); for an access of dereference depth
+/// D, level i in [1, D] records the symbol whose storage the i-th
+/// dereference landed in. Dereferences of addresses outside any known
+/// object record the distinguished UnknownTarget.
+class AliasProfile {
+public:
+  /// Marker for a dereference that escaped all known objects.
+  static constexpr unsigned UnknownTarget = ~0u;
+
+  /// Records one observed target at \p Level (1-based) of the access at
+  /// statement \p StmtId in \p F.
+  void recordTarget(const ir::Function *F, unsigned StmtId, unsigned Level,
+                    unsigned SymbolId) {
+    Targets[SiteKey{F, StmtId, Level}].insert(SymbolId);
+  }
+
+  /// True if the site executed at least once (any level).
+  bool siteExecuted(const ir::Function *F, unsigned StmtId) const {
+    auto It = Targets.lower_bound(SiteKey{F, StmtId, 0});
+    return It != Targets.end() && It->first.F == F &&
+           It->first.StmtId == StmtId;
+  }
+
+  /// True if \p Sym was ever a level-\p Level target of the site. Returns
+  /// true as well when the site recorded an unknown target at that level
+  /// (the profile cannot rule anything out then).
+  bool observed(const ir::Function *F, unsigned StmtId, unsigned Level,
+                const ir::Symbol *Sym) const {
+    auto It = Targets.find(SiteKey{F, StmtId, Level});
+    if (It == Targets.end())
+      return false;
+    return It->second.count(Sym->Id) || It->second.count(UnknownTarget);
+  }
+
+  /// Observed target set of one level, or null.
+  const std::set<unsigned> *targets(const ir::Function *F, unsigned StmtId,
+                                    unsigned Level) const {
+    auto It = Targets.find(SiteKey{F, StmtId, Level});
+    return It == Targets.end() ? nullptr : &It->second;
+  }
+
+  /// Number of profiled (site, level) entries.
+  size_t size() const { return Targets.size(); }
+
+private:
+  struct SiteKey {
+    const ir::Function *F;
+    unsigned StmtId;
+    unsigned Level;
+
+    bool operator<(const SiteKey &O) const {
+      if (F != O.F)
+        return F < O.F;
+      if (StmtId != O.StmtId)
+        return StmtId < O.StmtId;
+      return Level < O.Level;
+    }
+  };
+
+  std::map<SiteKey, std::set<unsigned>> Targets;
+};
+
+/// Block and edge execution counts.
+class EdgeProfile {
+public:
+  void countBlock(const ir::BasicBlock *BB) { ++BlockCounts[BB]; }
+
+  void countEdge(const ir::BasicBlock *From, const ir::BasicBlock *To) {
+    ++EdgeCounts[{From, To}];
+  }
+
+  /// Bulk accumulation (profile remapping across module rebuilds).
+  void addBlockCount(const ir::BasicBlock *BB, uint64_t N) {
+    BlockCounts[BB] += N;
+  }
+  void addEdgeCount(const ir::BasicBlock *From, const ir::BasicBlock *To,
+                    uint64_t N) {
+    EdgeCounts[{From, To}] += N;
+  }
+
+  uint64_t blockCount(const ir::BasicBlock *BB) const {
+    auto It = BlockCounts.find(BB);
+    return It == BlockCounts.end() ? 0 : It->second;
+  }
+
+  uint64_t edgeCount(const ir::BasicBlock *From,
+                     const ir::BasicBlock *To) const {
+    auto It = EdgeCounts.find({From, To});
+    return It == EdgeCounts.end() ? 0 : It->second;
+  }
+
+  bool empty() const { return BlockCounts.empty(); }
+
+private:
+  std::map<const ir::BasicBlock *, uint64_t> BlockCounts;
+  std::map<std::pair<const ir::BasicBlock *, const ir::BasicBlock *>,
+           uint64_t>
+      EdgeCounts;
+};
+
+} // namespace srp::interp
+
+#endif // SRP_INTERP_PROFILE_H

@@ -1,0 +1,179 @@
+//===- CFG.cpp - Basic blocks, functions, modules --------------------------===//
+
+#include "ir/CFG.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace srp;
+using namespace srp::ir;
+
+const char *srp::ir::stmtKindName(StmtKind Kind) {
+  switch (Kind) {
+  case StmtKind::Assign:
+    return "assign";
+  case StmtKind::Load:
+    return "load";
+  case StmtKind::Store:
+    return "store";
+  case StmtKind::AddrOf:
+    return "addrof";
+  case StmtKind::Alloc:
+    return "alloc";
+  case StmtKind::Call:
+    return "call";
+  case StmtKind::Invala:
+    return "invala";
+  case StmtKind::Print:
+    return "print";
+  }
+  SRP_UNREACHABLE("invalid StmtKind");
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+Stmt *BasicBlock::append(Stmt S) {
+  S.Id = Parent->nextStmtId();
+  Stmts.push_back(std::make_unique<Stmt>(std::move(S)));
+  return Stmts.back().get();
+}
+
+Stmt *BasicBlock::insertBefore(size_t Pos, Stmt S) {
+  assert(Pos <= Stmts.size() && "insert position out of range");
+  S.Id = Parent->nextStmtId();
+  auto It = Stmts.insert(Stmts.begin() + static_cast<ptrdiff_t>(Pos),
+                         std::make_unique<Stmt>(std::move(S)));
+  return It->get();
+}
+
+void BasicBlock::erase(size_t Pos) {
+  assert(Pos < Stmts.size() && "erase position out of range");
+  Stmts.erase(Stmts.begin() + static_cast<ptrdiff_t>(Pos));
+}
+
+size_t BasicBlock::positionOf(const Stmt *S) const {
+  for (size_t I = 0, E = Stmts.size(); I != E; ++I)
+    if (Stmts[I].get() == S)
+      return I;
+  SRP_UNREACHABLE("statement not in block");
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+BasicBlock *Function::createBlock(std::string Name) {
+  unsigned Id = static_cast<unsigned>(Blocks.size());
+  Blocks.push_back(std::make_unique<BasicBlock>(Id, std::move(Name), this));
+  return Blocks.back().get();
+}
+
+unsigned Function::createTemp(TypeKind Type) {
+  TempTypes.push_back(Type);
+  return static_cast<unsigned>(TempTypes.size()) - 1;
+}
+
+void Function::recomputeCFG() {
+  for (auto &BB : Blocks) {
+    BB->Preds.clear();
+    BB->Succs.clear();
+  }
+  for (auto &BB : Blocks) {
+    Terminator &T = BB->Term;
+    switch (T.Kind) {
+    case TermKind::Br:
+      assert(T.Target && "br without target");
+      BB->Succs.push_back(T.Target);
+      break;
+    case TermKind::CondBr:
+      assert(T.Target && T.FalseTarget && "condbr without targets");
+      BB->Succs.push_back(T.Target);
+      if (T.FalseTarget != T.Target)
+        BB->Succs.push_back(T.FalseTarget);
+      break;
+    case TermKind::Ret:
+      break;
+    }
+    for (BasicBlock *Succ : BB->Succs)
+      Succ->Preds.push_back(BB.get());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Symbol *Module::allocateSymbol(std::string Name, SymbolKind Kind,
+                               TypeKind ElemType, unsigned NumElems,
+                               Function *Parent) {
+  assert(NumElems >= 1 && "symbol must have at least one element");
+  Symbol Sym;
+  Sym.Id = static_cast<unsigned>(Symbols.size());
+  Sym.Name = std::move(Name);
+  Sym.Kind = Kind;
+  Sym.ElemType = ElemType;
+  Sym.NumElems = NumElems;
+  Sym.Parent = Parent;
+  Symbols.push_back(std::move(Sym));
+  return &Symbols.back();
+}
+
+Symbol *Module::createGlobal(std::string Name, TypeKind ElemType,
+                             unsigned NumElems) {
+  Symbol *Sym = allocateSymbol(std::move(Name), SymbolKind::Global, ElemType,
+                               NumElems, nullptr);
+  Globals.push_back(Sym);
+  return Sym;
+}
+
+Symbol *Module::createLocal(Function *Parent, std::string Name,
+                            TypeKind ElemType, unsigned NumElems,
+                            bool IsFormal) {
+  assert(Parent && "local symbol needs a parent function");
+  Symbol *Sym = allocateSymbol(
+      std::move(Name), IsFormal ? SymbolKind::Formal : SymbolKind::Local,
+      ElemType, NumElems, Parent);
+  if (IsFormal)
+    Parent->addFormal(Sym);
+  else
+    Parent->addLocal(Sym);
+  return Sym;
+}
+
+Symbol *Module::createHeapSite(std::string Name, TypeKind ElemType) {
+  Symbol *Sym = allocateSymbol(std::move(Name), SymbolKind::HeapSite,
+                               ElemType, 1, nullptr);
+  // Heap objects escape by construction: their address is the alloc result.
+  Sym->AddressTaken = true;
+  HeapSites.push_back(Sym);
+  return Sym;
+}
+
+Function *Module::createFunction(std::string Name) {
+  Functions.push_back(std::make_unique<Function>(std::move(Name), this));
+  return Functions.back().get();
+}
+
+Function *Module::findFunction(std::string_view Name) {
+  for (auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+const char *srp::ir::symbolKindName(SymbolKind Kind) {
+  switch (Kind) {
+  case SymbolKind::Global:
+    return "global";
+  case SymbolKind::Local:
+    return "local";
+  case SymbolKind::Formal:
+    return "formal";
+  case SymbolKind::HeapSite:
+    return "heapsite";
+  }
+  SRP_UNREACHABLE("invalid SymbolKind");
+}

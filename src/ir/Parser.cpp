@@ -1,0 +1,674 @@
+//===- Parser.cpp - Textual IR parser ----------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/CFG.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace srp;
+using namespace srp::ir;
+
+namespace {
+
+/// Line-oriented recursive-descent parser. Each construct occupies one
+/// line; a small cursor-based tokenizer handles the line contents.
+class ModuleParser {
+public:
+  ModuleParser(std::string_view Text, Module &M, std::string &Error)
+      : M(M), Error(Error) {
+    size_t Begin = 0;
+    while (Begin <= Text.size()) {
+      size_t End = Text.find('\n', Begin);
+      if (End == std::string_view::npos)
+        End = Text.size();
+      Lines.push_back(Text.substr(Begin, End - Begin));
+      Begin = End + 1;
+    }
+  }
+
+  bool run() {
+    while (!atEnd()) {
+      std::string_view L = currentLine();
+      if (L.empty()) {
+        advance();
+        continue;
+      }
+      if (startsWith(L, "global ")) {
+        if (!parseGlobal(L.substr(7)))
+          return false;
+        advance();
+        continue;
+      }
+      if (startsWith(L, "func ")) {
+        if (!parseFunction())
+          return false;
+        continue;
+      }
+      return fail("expected 'global' or 'func'");
+    }
+    // Resolve branch targets now that every block exists.
+    return resolveBranches();
+  }
+
+private:
+  //===------------------------------------------------------------===//
+  // Line handling
+  //===------------------------------------------------------------===//
+
+  bool atEnd() const { return LineNo >= Lines.size(); }
+
+  std::string_view currentLine() {
+    std::string_view L = Lines[LineNo];
+    size_t Hash = L.find('#');
+    if (Hash != std::string_view::npos)
+      L = L.substr(0, Hash);
+    return trimString(L);
+  }
+
+  void advance() { ++LineNo; }
+
+  bool fail(const std::string &Message) {
+    Error = formatString("line %u: %s", static_cast<unsigned>(LineNo + 1),
+                         Message.c_str());
+    return false;
+  }
+
+  //===------------------------------------------------------------===//
+  // Token cursor over one line
+  //===------------------------------------------------------------===//
+
+  struct Cursor {
+    std::string_view S;
+    size_t Pos = 0;
+
+    void skipSpace() {
+      while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t'))
+        ++Pos;
+    }
+    bool eat(std::string_view Tok) {
+      skipSpace();
+      if (S.substr(Pos, Tok.size()) != Tok)
+        return false;
+      Pos += Tok.size();
+      return true;
+    }
+    bool peek(std::string_view Tok) {
+      skipSpace();
+      return S.substr(Pos, Tok.size()) == Tok;
+    }
+    std::string_view ident() {
+      skipSpace();
+      size_t Start = Pos;
+      while (Pos < S.size() &&
+             (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+              S[Pos] == '_' || S[Pos] == '.'))
+        ++Pos;
+      return S.substr(Start, Pos - Start);
+    }
+    bool integer(int64_t &Out) {
+      skipSpace();
+      size_t Start = Pos;
+      if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+        ++Pos;
+      size_t DigitsStart = Pos;
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+      if (Pos == DigitsStart) {
+        Pos = Start;
+        return false;
+      }
+      Out = std::strtoll(std::string(S.substr(Start, Pos - Start)).c_str(),
+                         nullptr, 10);
+      return true;
+    }
+    bool done() {
+      skipSpace();
+      return Pos >= S.size();
+    }
+  };
+
+  //===------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------===//
+
+  bool parseTypeDecl(Cursor &C, TypeKind &Type, unsigned &NumElems) {
+    if (!C.eat(":"))
+      return fail("expected ':' in declaration");
+    std::string_view T = C.ident();
+    if (T == "int")
+      Type = TypeKind::Int;
+    else if (T == "float")
+      Type = TypeKind::Float;
+    else
+      return fail("unknown type '" + std::string(T) + "'");
+    NumElems = 1;
+    if (C.eat("[")) {
+      int64_t N;
+      if (!C.integer(N) || N < 1 || !C.eat("]"))
+        return fail("malformed array extent");
+      NumElems = static_cast<unsigned>(N);
+    }
+    return true;
+  }
+
+  bool parseGlobal(std::string_view Rest) {
+    Cursor C{Rest};
+    std::string Name(C.ident());
+    if (Name.empty())
+      return fail("global without a name");
+    TypeKind Type;
+    unsigned NumElems;
+    if (!parseTypeDecl(C, Type, NumElems))
+      return false;
+    Symbol *Sym = M.createGlobal(Name, Type, NumElems);
+    Symbols[Name] = Sym;
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Functions
+  //===------------------------------------------------------------===//
+
+  bool parseFunction() {
+    Cursor C{currentLine()};
+    C.eat("func");
+    std::string Name(C.ident());
+    if (Name.empty() || !C.eat("("))
+      return fail("malformed function header");
+    F = M.createFunction(Name);
+    FuncByName[Name] = F;
+    LocalSymbols.clear();
+    Temps.clear();
+    Blocks.clear();
+    CurBB = nullptr;
+
+    if (!C.eat(")")) {
+      while (true) {
+        std::string PName(C.ident());
+        TypeKind Type;
+        unsigned NumElems;
+        if (PName.empty() || !parseTypeDecl(C, Type, NumElems))
+          return fail("malformed parameter list");
+        LocalSymbols[PName] =
+            M.createLocal(F, PName, Type, NumElems, /*IsFormal=*/true);
+        if (C.eat(")"))
+          break;
+        if (!C.eat(","))
+          return fail("expected ',' or ')' in parameter list");
+      }
+    }
+    if (C.eat("->")) {
+      std::string_view T = C.ident();
+      F->HasReturnValue = true;
+      F->ReturnType = T == "float" ? TypeKind::Float : TypeKind::Int;
+    }
+    if (!C.eat("{"))
+      return fail("expected '{' after function header");
+    advance();
+
+    while (!atEnd()) {
+      std::string_view L = currentLine();
+      if (L.empty()) {
+        advance();
+        continue;
+      }
+      if (L == "}") {
+        advance();
+        // CFG edges are recomputed after branch resolution.
+        return true;
+      }
+      if (startsWith(L, "local ")) {
+        Cursor LC{L.substr(6)};
+        std::string LName(LC.ident());
+        TypeKind Type;
+        unsigned NumElems;
+        if (LName.empty() || !parseTypeDecl(LC, Type, NumElems))
+          return false;
+        LocalSymbols[LName] = M.createLocal(F, LName, Type, NumElems);
+        advance();
+        continue;
+      }
+      if (L.back() == ':') {
+        std::string Label(L.substr(0, L.size() - 1));
+        CurBB = F->createBlock(Label);
+        Blocks[Label] = CurBB;
+        HasTerm = false;
+        advance();
+        continue;
+      }
+      if (!CurBB)
+        return fail("statement before the first block label");
+      if (!parseStatement(L))
+        return false;
+      advance();
+    }
+    return fail("missing '}' at end of function");
+  }
+
+  //===------------------------------------------------------------===//
+  // Operands, refs, temps
+  //===------------------------------------------------------------===//
+
+  Symbol *lookupSymbol(const std::string &Name) {
+    auto It = LocalSymbols.find(Name);
+    if (It != LocalSymbols.end())
+      return It->second;
+    auto GIt = Symbols.find(Name);
+    return GIt == Symbols.end() ? nullptr : GIt->second;
+  }
+
+  /// Temps are created on first mention with a provisional Int type; the
+  /// defining statement patches the type (uses can precede defs in
+  /// promoted code, e.g. invala).
+  unsigned tempFor(int64_t TextId) {
+    auto It = Temps.find(TextId);
+    if (It != Temps.end())
+      return It->second;
+    unsigned Id = F->createTemp(TypeKind::Int);
+    Temps[TextId] = Id;
+    return Id;
+  }
+
+  bool parseTempRef(Cursor &C, unsigned &Out) {
+    if (!C.eat("t"))
+      return false;
+    int64_t N;
+    if (!C.integer(N))
+      return false;
+    Out = tempFor(N);
+    return true;
+  }
+
+  bool parseOperand(Cursor &C, Operand &Out) {
+    C.skipSpace();
+    unsigned Temp;
+    size_t Saved = C.Pos;
+    if (C.peek("t") && parseTempRef(C, Temp)) {
+      Out = Operand::temp(Temp);
+      return true;
+    }
+    C.Pos = Saved;
+    // Number: integer or float with a trailing 'f'. Scan ahead for '.',
+    // 'e' or the suffix to decide.
+    size_t Start = C.Pos;
+    size_t P = C.Pos;
+    if (P < C.S.size() && (C.S[P] == '-' || C.S[P] == '+'))
+      ++P;
+    bool SawDigit = false, SawFloaty = false;
+    while (P < C.S.size()) {
+      char Ch = C.S[P];
+      if (std::isdigit(static_cast<unsigned char>(Ch))) {
+        SawDigit = true;
+        ++P;
+      } else if (Ch == '.' || Ch == 'e' || Ch == '+' || Ch == '-') {
+        SawFloaty = true;
+        ++P;
+      } else {
+        break;
+      }
+    }
+    if (!SawDigit)
+      return false;
+    bool FloatSuffix = P < C.S.size() && C.S[P] == 'f';
+    std::string Num(C.S.substr(Start, P - Start));
+    if (FloatSuffix || SawFloaty) {
+      Out = Operand::constFloat(std::strtod(Num.c_str(), nullptr));
+      C.Pos = P + (FloatSuffix ? 1 : 0);
+    } else {
+      Out = Operand::constInt(std::strtoll(Num.c_str(), nullptr, 10));
+      C.Pos = P;
+    }
+    return true;
+  }
+
+  bool parseMemRef(Cursor &C, MemRef &Ref) {
+    C.skipSpace();
+    Ref = MemRef();
+    while (C.eat("*"))
+      ++Ref.Depth;
+    std::string Name(C.ident());
+    Ref.Base = lookupSymbol(Name);
+    if (!Ref.Base)
+      return fail("unknown symbol '" + Name + "'");
+    if (C.eat("[")) {
+      if (!parseOperand(C, Ref.Index) || !C.eat("]"))
+        return fail("malformed index");
+    }
+    if (C.eat("{")) {
+      int64_t Off;
+      if (!C.integer(Off) || !C.eat("}"))
+        return fail("malformed offset");
+      Ref.Offset = Off;
+    }
+    if (C.eat(":flt"))
+      Ref.ValueType = TypeKind::Float;
+    else if (Ref.Depth == 0)
+      Ref.ValueType = Ref.Base->ElemType;
+    else
+      Ref.ValueType = TypeKind::Int;
+    return true;
+  }
+
+  void setTempType(unsigned Temp, TypeKind Type) {
+    F->setTempType(Temp, Type);
+  }
+
+  //===------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------===//
+
+  bool parseStatement(std::string_view L) {
+    Cursor C{L};
+    if (HasTerm)
+      return fail("statement after the block terminator");
+
+    // Terminators.
+    if (C.eat("br ") || (C.peek("br") && L == "br"))
+      return parseBr(L);
+    if (startsWith(L, "condbr "))
+      return parseCondBr(L);
+    if (L == "ret" || startsWith(L, "ret "))
+      return parseRet(L);
+    if (startsWith(L, "st"))
+      return parseStore(L);
+    if (startsWith(L, "invala ")) {
+      Cursor IC{L.substr(7)};
+      unsigned Temp;
+      if (!parseTempRef(IC, Temp))
+        return fail("invala needs a temp");
+      Stmt S;
+      S.Kind = StmtKind::Invala;
+      S.Dst = Temp;
+      CurBB->append(std::move(S));
+      return true;
+    }
+    if (startsWith(L, "print ")) {
+      Cursor PC{L.substr(6)};
+      Stmt S;
+      S.Kind = StmtKind::Print;
+      if (!parseOperand(PC, S.A))
+        return fail("print needs an operand");
+      CurBB->append(std::move(S));
+      return true;
+    }
+    if (startsWith(L, "call "))
+      return parseCall(L, /*Dst=*/NoTemp);
+
+    // tN = ...
+    unsigned Dst;
+    if (!parseTempRef(C, Dst) || !C.eat("="))
+      return fail("unrecognized statement");
+    C.skipSpace();
+    if (C.peek("ld"))
+      return parseLoad(C, Dst);
+    if (C.eat("addrof")) {
+      Stmt S;
+      S.Kind = StmtKind::AddrOf;
+      if (!parseMemRef(C, S.Ref))
+        return false;
+      S.Ref.Base->AddressTaken = true;
+      S.Dst = Dst;
+      setTempType(Dst, TypeKind::Int);
+      CurBB->append(std::move(S));
+      return true;
+    }
+    if (C.eat("alloc")) {
+      Stmt S;
+      S.Kind = StmtKind::Alloc;
+      if (!parseOperand(C, S.A) || !C.eat("@"))
+        return fail("malformed alloc");
+      std::string Site(C.ident());
+      S.HeapSym = M.createHeapSite(Site, TypeKind::Int);
+      S.Dst = Dst;
+      setTempType(Dst, TypeKind::Int);
+      CurBB->append(std::move(S));
+      return true;
+    }
+    if (C.peek("call")) {
+      std::string_view Rest = C.S.substr(C.Pos);
+      return parseCall(Rest, Dst);
+    }
+    return parseAssign(C, Dst);
+  }
+
+  bool parseLoad(Cursor &C, unsigned Dst) {
+    C.eat("ld");
+    Stmt S;
+    S.Kind = StmtKind::Load;
+    S.Dst = Dst;
+    if (C.eat("<")) {
+      static const std::pair<const char *, SpecFlag> Flags[] = {
+          {"ld.a", SpecFlag::LdA},        {"ld.sa", SpecFlag::LdSA},
+          {"ld.c.clr", SpecFlag::LdC},    {"ld.c.nc", SpecFlag::LdCnc},
+          {"chk.a.clr", SpecFlag::ChkA},  {"chk.a.nc", SpecFlag::ChkAnc},
+      };
+      std::string_view FlagName = C.ident();
+      bool Found = false;
+      for (auto &[N, FlagV] : Flags)
+        if (FlagName == N) {
+          S.Flag = FlagV;
+          Found = true;
+        }
+      if (!Found || !C.eat(">"))
+        return fail("unknown load flag");
+    }
+    if (!parseMemRef(C, S.Ref))
+      return false;
+    if (C.eat("@addr(")) {
+      if (!parseTempRef(C, S.AddrSrc) || !C.eat(")"))
+        return fail("malformed @addr()");
+    }
+    if (C.eat("addr->")) {
+      if (!parseTempRef(C, S.AddrDst))
+        return fail("malformed addr->");
+      setTempType(S.AddrDst, TypeKind::Int);
+    }
+    setTempType(Dst, S.Ref.ValueType);
+    CurBB->append(std::move(S));
+    return true;
+  }
+
+  bool parseStore(std::string_view L) {
+    Cursor C{L};
+    C.eat("st");
+    Stmt S;
+    S.Kind = StmtKind::Store;
+    if (C.eat("<st.a>"))
+      S.StA = true;
+    if (!parseMemRef(C, S.Ref))
+      return false;
+    if (!C.eat("="))
+      return fail("store without '='");
+    if (!parseOperand(C, S.A))
+      return fail("store without a value");
+    if (C.eat("addr->")) {
+      if (!parseTempRef(C, S.AddrDst))
+        return fail("malformed addr->");
+      setTempType(S.AddrDst, TypeKind::Int);
+    }
+    if (C.eat("alat->")) {
+      if (!parseTempRef(C, S.AlatDst))
+        return fail("malformed alat->");
+    }
+    CurBB->append(std::move(S));
+    return true;
+  }
+
+  bool parseAssign(Cursor &C, unsigned Dst) {
+    std::string OpName(C.ident());
+    Stmt S;
+    S.Kind = StmtKind::Assign;
+    bool Found = false;
+    for (int Op = 0; Op <= static_cast<int>(Opcode::Select); ++Op) {
+      if (OpName == opcodeName(static_cast<Opcode>(Op))) {
+        S.Op = static_cast<Opcode>(Op);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return fail("unknown opcode '" + OpName + "'");
+    if (!parseOperand(C, S.A))
+      return fail("assign without operands");
+    if (C.eat(",")) {
+      if (!parseOperand(C, S.B))
+        return fail("malformed second operand");
+      if (C.eat(",") && !parseOperand(C, S.C))
+        return fail("malformed third operand");
+    }
+    S.Dst = Dst;
+    TypeKind Result =
+        opcodeProducesFloat(S.Op) ? TypeKind::Float : TypeKind::Int;
+    if (S.Op == Opcode::Copy || S.Op == Opcode::Select) {
+      const Operand &Src = S.Op == Opcode::Select ? S.B : S.A;
+      Result = Src.K == Operand::Kind::ConstFloat ||
+                       (Src.isTemp() &&
+                        F->tempType(Src.getTemp()) == TypeKind::Float)
+                   ? TypeKind::Float
+                   : TypeKind::Int;
+    }
+    setTempType(Dst, Result);
+    CurBB->append(std::move(S));
+    return true;
+  }
+
+  bool parseCall(std::string_view L, unsigned Dst) {
+    Cursor C{L};
+    C.eat("call");
+    std::string Name(C.ident());
+    auto It = FuncByName.find(Name);
+    if (It == FuncByName.end())
+      return fail("call to unknown function '" + Name + "'");
+    Stmt S;
+    S.Kind = StmtKind::Call;
+    S.Callee = It->second;
+    S.Dst = Dst;
+    if (!C.eat("("))
+      return fail("call without '('");
+    if (!C.eat(")")) {
+      while (true) {
+        Operand Arg;
+        if (!parseOperand(C, Arg))
+          return fail("malformed call argument");
+        S.Args.push_back(Arg);
+        if (C.eat(")"))
+          break;
+        if (!C.eat(","))
+          return fail("expected ',' or ')' in call");
+      }
+    }
+    if (Dst != NoTemp)
+      setTempType(Dst, S.Callee->HasReturnValue ? S.Callee->ReturnType
+                                                : TypeKind::Int);
+    CurBB->append(std::move(S));
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Terminators (targets resolved after all blocks exist)
+  //===------------------------------------------------------------===//
+
+  bool parseBr(std::string_view L) {
+    Cursor C{L};
+    C.eat("br");
+    std::string Label(C.ident());
+    if (Label.empty())
+      return fail("br without a target");
+    CurBB->term().Kind = TermKind::Br;
+    Pending.push_back({CurBB, Label, "", LineNo});
+    HasTerm = true;
+    return true;
+  }
+
+  bool parseCondBr(std::string_view L) {
+    Cursor C{L};
+    C.eat("condbr");
+    Terminator &T = CurBB->term();
+    T.Kind = TermKind::CondBr;
+    if (!parseOperand(C, T.Cond) || !C.eat(","))
+      return fail("malformed condbr");
+    std::string True(C.ident());
+    if (!C.eat(","))
+      return fail("condbr needs two targets");
+    std::string False(C.ident());
+    Pending.push_back({CurBB, True, False, LineNo});
+    HasTerm = true;
+    return true;
+  }
+
+  bool parseRet(std::string_view L) {
+    Cursor C{L};
+    C.eat("ret");
+    Terminator &T = CurBB->term();
+    T.Kind = TermKind::Ret;
+    if (!C.done())
+      if (!parseOperand(C, T.RetVal))
+        return fail("malformed return value");
+    HasTerm = true;
+    return true;
+  }
+
+  bool resolveBranches() {
+    for (const PendingBranch &P : Pending) {
+      auto Find = [&](const std::string &Label) -> BasicBlock * {
+        // Labels are function-local; search the owning function.
+        Function *Owner = P.BB->getParent();
+        for (unsigned I = 0; I < Owner->numBlocks(); ++I)
+          if (Owner->block(I)->getName() == Label)
+            return Owner->block(I);
+        return nullptr;
+      };
+      BasicBlock *T = Find(P.TrueLabel);
+      if (!T) {
+        LineNo = P.Line;
+        return fail("unknown block label '" + P.TrueLabel + "'");
+      }
+      P.BB->term().Target = T;
+      if (!P.FalseLabel.empty()) {
+        BasicBlock *FT = Find(P.FalseLabel);
+        if (!FT) {
+          LineNo = P.Line;
+          return fail("unknown block label '" + P.FalseLabel + "'");
+        }
+        P.BB->term().FalseTarget = FT;
+      }
+    }
+    for (unsigned I = 0; I < M.numFunctions(); ++I)
+      M.function(I)->recomputeCFG();
+    return true;
+  }
+
+  struct PendingBranch {
+    BasicBlock *BB;
+    std::string TrueLabel, FalseLabel;
+    size_t Line;
+  };
+
+  Module &M;
+  std::string &Error;
+  std::vector<std::string_view> Lines;
+  size_t LineNo = 0;
+
+  std::map<std::string, Symbol *> Symbols;      ///< globals
+  std::map<std::string, Symbol *> LocalSymbols; ///< current function
+  std::map<std::string, Function *> FuncByName;
+  std::map<int64_t, unsigned> Temps; ///< text id -> temp id
+  std::map<std::string, BasicBlock *> Blocks;
+  Function *F = nullptr;
+  BasicBlock *CurBB = nullptr;
+  bool HasTerm = false;
+  std::vector<PendingBranch> Pending;
+};
+
+} // namespace
+
+bool srp::ir::parseModule(std::string_view Text, Module &M,
+                          std::string &Error) {
+  return ModuleParser(Text, M, Error).run();
+}

@@ -1,0 +1,174 @@
+//===- Printer.cpp - Textual IR output -------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/CFG.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+using namespace srp;
+using namespace srp::ir;
+
+std::string srp::ir::operandToString(const Operand &Op) {
+  switch (Op.K) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Temp:
+    return formatString("t%u", Op.TempId);
+  case Operand::Kind::ConstInt:
+    return formatString("%lld", static_cast<long long>(Op.IntVal));
+  case Operand::Kind::ConstFloat:
+    return formatString("%gf", Op.FloatVal);
+  }
+  return "<invalid>";
+}
+
+std::string srp::ir::memRefToString(const MemRef &Ref) {
+  std::string Out;
+  for (unsigned I = 0; I < Ref.Depth; ++I)
+    Out += '*';
+  Out += Ref.Base ? Ref.Base->Name : "<null>";
+  if (Ref.hasIndex())
+    Out += '[' + operandToString(Ref.Index) + ']';
+  if (Ref.Offset != 0)
+    Out += formatString("{%+lld}", static_cast<long long>(Ref.Offset));
+  if (Ref.ValueType == TypeKind::Float && Ref.isIndirect())
+    Out += ":flt";
+  return Out;
+}
+
+void srp::ir::printStmt(const Stmt &S, OStream &OS) {
+  auto Temp = [](unsigned Id) { return formatString("t%u", Id); };
+  switch (S.Kind) {
+  case StmtKind::Assign:
+    OS << Temp(S.Dst) << " = " << opcodeName(S.Op) << ' '
+       << operandToString(S.A);
+    if (!S.B.isNone())
+      OS << ", " << operandToString(S.B);
+    if (!S.C.isNone())
+      OS << ", " << operandToString(S.C);
+    break;
+  case StmtKind::Load:
+    OS << Temp(S.Dst) << " = ld";
+    if (S.Flag != SpecFlag::None)
+      OS << '<' << specFlagName(S.Flag) << '>';
+    OS << ' ' << memRefToString(S.Ref);
+    if (S.AddrSrc != NoTemp)
+      OS << " @addr(" << Temp(S.AddrSrc) << ')';
+    if (S.AddrDst != NoTemp)
+      OS << " addr->" << Temp(S.AddrDst);
+    break;
+  case StmtKind::Store:
+    OS << (S.StA ? "st<st.a> " : "st ") << memRefToString(S.Ref) << " = "
+       << operandToString(S.A);
+    if (S.AddrDst != NoTemp)
+      OS << " addr->" << Temp(S.AddrDst);
+    if (S.AlatDst != NoTemp)
+      OS << " alat->" << Temp(S.AlatDst);
+    break;
+  case StmtKind::AddrOf:
+    OS << Temp(S.Dst) << " = addrof " << memRefToString(S.Ref);
+    break;
+  case StmtKind::Alloc:
+    OS << Temp(S.Dst) << " = alloc " << operandToString(S.A) << " @"
+       << (S.HeapSym ? S.HeapSym->Name : "<null>");
+    break;
+  case StmtKind::Call:
+    if (S.Dst != NoTemp)
+      OS << Temp(S.Dst) << " = ";
+    OS << "call " << (S.Callee ? S.Callee->getName() : "<null>") << '(';
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << operandToString(S.Args[I]);
+    }
+    OS << ')';
+    break;
+  case StmtKind::Invala:
+    OS << "invala " << Temp(S.Dst);
+    break;
+  case StmtKind::Print:
+    OS << "print " << operandToString(S.A);
+    break;
+  }
+}
+
+std::string srp::ir::stmtToString(const Stmt &S) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  printStmt(S, OS);
+  return Buffer;
+}
+
+static void printSymbolDecl(const Symbol &Sym, OStream &OS) {
+  OS << Sym.Name << " : " << typeName(Sym.ElemType);
+  if (!Sym.isScalar())
+    OS << '[' << Sym.NumElems << ']';
+}
+
+static void printTerminator(const Terminator &T, OStream &OS) {
+  switch (T.Kind) {
+  case TermKind::Br:
+    OS << "br " << T.Target->getName();
+    break;
+  case TermKind::CondBr:
+    OS << "condbr " << operandToString(T.Cond) << ", "
+       << T.Target->getName() << ", " << T.FalseTarget->getName();
+    break;
+  case TermKind::Ret:
+    OS << "ret";
+    if (!T.RetVal.isNone())
+      OS << ' ' << operandToString(T.RetVal);
+    break;
+  }
+}
+
+void srp::ir::printFunction(const Function &F, OStream &OS) {
+  OS << "func " << F.getName() << '(';
+  for (size_t I = 0; I < F.formals().size(); ++I) {
+    if (I)
+      OS << ", ";
+    printSymbolDecl(*F.formals()[I], OS);
+  }
+  OS << ')';
+  if (F.HasReturnValue)
+    OS << " -> " << typeName(F.ReturnType);
+  OS << " {\n";
+  for (const Symbol *Local : F.locals()) {
+    OS << "  local ";
+    printSymbolDecl(*Local, OS);
+    OS << '\n';
+  }
+  for (unsigned I = 0, E = F.numBlocks(); I != E; ++I) {
+    const BasicBlock *BB = F.block(I);
+    OS << BB->getName() << ":\n";
+    for (size_t J = 0, SE = BB->size(); J != SE; ++J) {
+      OS << "  ";
+      printStmt(*BB->stmt(J), OS);
+      OS << '\n';
+    }
+    OS << "  ";
+    printTerminator(BB->term(), OS);
+    OS << '\n';
+  }
+  OS << "}\n";
+}
+
+void srp::ir::printModule(const Module &M, OStream &OS) {
+  for (const Symbol *Global : M.globals()) {
+    OS << "global ";
+    printSymbolDecl(*Global, OS);
+    OS << '\n';
+  }
+  for (unsigned I = 0, E = M.numFunctions(); I != E; ++I) {
+    OS << '\n';
+    printFunction(*M.function(I), OS);
+  }
+}
+
+std::string srp::ir::moduleToString(const Module &M) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  printModule(M, OS);
+  return Buffer;
+}

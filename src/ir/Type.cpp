@@ -1,0 +1,119 @@
+//===- Type.cpp - IR enums ------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Error.h"
+
+using namespace srp;
+using namespace srp::ir;
+
+const char *srp::ir::typeName(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  }
+  SRP_UNREACHABLE("invalid TypeKind");
+}
+
+const char *srp::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FCmpLt:
+    return "fcmplt";
+  case Opcode::IntToFp:
+    return "inttofp";
+  case Opcode::FpToInt:
+    return "fptoint";
+  case Opcode::Select:
+    return "select";
+  }
+  SRP_UNREACHABLE("invalid Opcode");
+}
+
+bool srp::ir::opcodeProducesFloat(Opcode Op) {
+  switch (Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::IntToFp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *srp::ir::specFlagName(SpecFlag Flag) {
+  switch (Flag) {
+  case SpecFlag::None:
+    return "";
+  case SpecFlag::LdA:
+    return "ld.a";
+  case SpecFlag::LdSA:
+    return "ld.sa";
+  case SpecFlag::LdC:
+    return "ld.c.clr";
+  case SpecFlag::LdCnc:
+    return "ld.c.nc";
+  case SpecFlag::ChkA:
+    return "chk.a.clr";
+  case SpecFlag::ChkAnc:
+    return "chk.a.nc";
+  }
+  SRP_UNREACHABLE("invalid SpecFlag");
+}
+
+bool srp::ir::isCheckFlag(SpecFlag Flag) {
+  switch (Flag) {
+  case SpecFlag::LdC:
+  case SpecFlag::LdCnc:
+  case SpecFlag::ChkA:
+  case SpecFlag::ChkAnc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool srp::ir::isAdvancedFlag(SpecFlag Flag) {
+  return Flag == SpecFlag::LdA || Flag == SpecFlag::LdSA;
+}

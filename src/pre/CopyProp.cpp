@@ -1,0 +1,124 @@
+//===- CopyProp.cpp - Local copy propagation ----------------------------------===//
+
+#include "pre/CopyProp.h"
+
+#include <map>
+#include <vector>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::pre;
+
+namespace {
+
+/// Chases a temp through the currently-valid copy map.
+unsigned chase(const std::map<unsigned, unsigned> &CopyOf, unsigned Temp) {
+  auto It = CopyOf.find(Temp);
+  while (It != CopyOf.end()) {
+    Temp = It->second;
+    It = CopyOf.find(Temp);
+  }
+  return Temp;
+}
+
+} // namespace
+
+CopyPropStats srp::pre::propagateCopies(ir::Function &F) {
+  CopyPropStats Stats;
+
+  // Pass 1: block-local propagation.
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    BasicBlock *BB = F.block(BI);
+    std::map<unsigned, unsigned> CopyOf;
+    auto Rewrite = [&](Operand &Op) {
+      if (!Op.isTemp())
+        return;
+      unsigned To = chase(CopyOf, Op.TempId);
+      if (To != Op.TempId) {
+        Op.TempId = To;
+        ++Stats.UsesRewritten;
+      }
+    };
+    auto Invalidate = [&](unsigned Redefined) {
+      CopyOf.erase(Redefined);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == Redefined)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+    for (size_t SI = 0; SI < BB->size(); ++SI) {
+      Stmt *S = BB->stmt(SI);
+      Rewrite(S->A);
+      Rewrite(S->B);
+      Rewrite(S->C);
+      Rewrite(S->Ref.Index);
+      for (Operand &Arg : S->Args)
+        Rewrite(Arg);
+      if (S->AddrSrc != NoTemp) {
+        unsigned To = chase(CopyOf, S->AddrSrc);
+        if (To != S->AddrSrc) {
+          S->AddrSrc = To;
+          ++Stats.UsesRewritten;
+        }
+      }
+      if (S->definesTemp())
+        Invalidate(S->Dst);
+      if (S->AddrDst != NoTemp)
+        Invalidate(S->AddrDst);
+      if (S->Kind == StmtKind::Store && S->AlatDst != NoTemp)
+        Invalidate(S->AlatDst);
+      if (S->Kind == StmtKind::Assign && S->Op == Opcode::Copy &&
+          S->A.isTemp())
+        CopyOf[S->Dst] = S->A.TempId;
+    }
+    Rewrite(BB->term().Cond);
+    Rewrite(BB->term().RetVal);
+  }
+
+  // Pass 2: dead pure-assignment elimination to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<unsigned> UseCount(F.numTemps(), 0);
+    auto Count = [&](const Operand &Op) {
+      if (Op.isTemp())
+        ++UseCount[Op.TempId];
+    };
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0; SI < BB->size(); ++SI) {
+        const Stmt *S = BB->stmt(SI);
+        Count(S->A);
+        Count(S->B);
+        Count(S->C);
+        Count(S->Ref.Index);
+        for (const Operand &Arg : S->Args)
+          Count(Arg);
+        if (S->AddrSrc != NoTemp)
+          ++UseCount[S->AddrSrc];
+        if (S->Kind == StmtKind::Invala)
+          ++UseCount[S->Dst]; // invala.e names the temp's register
+        if (S->Kind == StmtKind::Store && S->AlatDst != NoTemp)
+          ++UseCount[S->AlatDst];
+      }
+      Count(BB->term().Cond);
+      Count(BB->term().RetVal);
+    }
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0; SI < BB->size();) {
+        const Stmt *S = BB->stmt(SI);
+        if (S->Kind == StmtKind::Assign && UseCount[S->Dst] == 0) {
+          BB->erase(SI);
+          ++Stats.AssignsRemoved;
+          Changed = true;
+          continue;
+        }
+        ++SI;
+      }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,36 @@
+//===- CopyProp.h - Local copy propagation ----------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local copy propagation and dead-assignment elimination. The
+/// promotion pass rewrites redundant loads into `tOld = copy tPromoted`
+/// snapshots; whenever the promoted temp is not redefined (by a check)
+/// between the copy and a use in the same block, the use can read the
+/// promoted temp directly and the copy usually dies. Real compilers
+/// coalesce these moves during register allocation; doing it here keeps
+/// the simulated instruction stream honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_PRE_COPYPROP_H
+#define SRP_PRE_COPYPROP_H
+
+#include "ir/CFG.h"
+
+namespace srp::pre {
+
+struct CopyPropStats {
+  unsigned UsesRewritten = 0;
+  unsigned AssignsRemoved = 0;
+};
+
+/// Runs local copy propagation followed by dead pure-assignment removal
+/// (to a fixpoint) on \p F.
+CopyPropStats propagateCopies(ir::Function &F);
+
+} // namespace srp::pre
+
+#endif // SRP_PRE_COPYPROP_H

@@ -1,0 +1,599 @@
+//===- HSSA.cpp - Alias-aware SSA with chi/mu and speculation ---------------===//
+
+#include "ssa/HSSA.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::ssa;
+
+std::string SSAObject::name() const {
+  if (K == Kind::Symbol)
+    return Sym->Name;
+  std::string Out = "v(";
+  for (unsigned I = 0; I < Ref.Depth; ++I)
+    Out += '*';
+  Out += Ref.Base->Name;
+  if (Ref.hasIndex())
+    Out += Ref.Index.isTemp() ? formatString("[t%u]", Ref.Index.TempId)
+                              : formatString("[%lld]", static_cast<long long>(
+                                                           Ref.Index.IntVal));
+  if (Ref.Offset)
+    Out += formatString("{%+lld}", static_cast<long long>(Ref.Offset));
+  Out += ')';
+  return Out;
+}
+
+bool HSSA::VKey::operator<(const VKey &O) const {
+  return std::tie(BaseId, Depth, IndexKind, IndexVal, Offset) <
+         std::tie(O.BaseId, O.Depth, O.IndexKind, O.IndexVal, O.Offset);
+}
+
+HSSA::VKey HSSA::vkeyFor(const ir::MemRef &Ref, unsigned Level) {
+  assert(Level >= 1 && Level <= Ref.Depth && "level out of range");
+  VKey Key;
+  Key.BaseId = Ref.Base->Id;
+  Key.Depth = Level;
+  // Index and offset only apply at the final level of the chain.
+  if (Level == Ref.Depth) {
+    Key.Offset = Ref.Offset;
+    switch (Ref.Index.K) {
+    case Operand::Kind::None:
+      Key.IndexKind = 0;
+      Key.IndexVal = 0;
+      break;
+    case Operand::Kind::Temp:
+      Key.IndexKind = 1;
+      Key.IndexVal = Ref.Index.TempId;
+      break;
+    case Operand::Kind::ConstInt:
+      Key.IndexKind = 2;
+      Key.IndexVal = static_cast<uint64_t>(Ref.Index.IntVal);
+      break;
+    case Operand::Kind::ConstFloat:
+      SRP_UNREACHABLE("float index");
+    }
+  } else {
+    Key.IndexKind = 0;
+    Key.IndexVal = 0;
+    Key.Offset = 0;
+  }
+  return Key;
+}
+
+/// Canonical lexical ref of the level-\p Level prefix of \p Ref.
+static MemRef levelRef(const MemRef &Ref, unsigned Level) {
+  MemRef Out = Ref;
+  Out.Depth = Level;
+  if (Level != Ref.Depth) {
+    Out.Index = Operand();
+    Out.Offset = 0;
+    Out.ValueType = TypeKind::Int; // Interior levels hold addresses.
+  }
+  return Out;
+}
+
+namespace srp::ssa {
+
+/// Builds the HSSA annotations (object discovery, χ/μ planning, φ
+/// insertion and renaming).
+class HSSABuilder {
+public:
+  HSSABuilder(HSSA &H, const DominatorTree &DT,
+              const alias::AliasAnalysis &AA,
+              const interp::AliasProfile *Profile)
+      : H(H), F(H.F), DT(DT), AA(AA), Profile(Profile) {}
+
+  void run() {
+    discoverObjects();
+    planChisAndMus();
+    insertPhis();
+    rename();
+    computeCanonical();
+  }
+
+private:
+  struct ChiPlan {
+    ObjectId Obj;
+    bool Spec;
+  };
+
+  ObjectId symbolObject(const Symbol *Sym) {
+    auto It = H.SymbolObjects.find(Sym);
+    if (It != H.SymbolObjects.end())
+      return It->second;
+    ObjectId Id = static_cast<ObjectId>(H.Objects.size());
+    SSAObject Obj;
+    Obj.K = SSAObject::Kind::Symbol;
+    Obj.Sym = Sym;
+    H.Objects.push_back(Obj);
+    H.SymbolObjects[Sym] = Id;
+    return Id;
+  }
+
+  ObjectId vvarObject(const MemRef &Ref, unsigned Level) {
+    HSSA::VKey Key = HSSA::vkeyFor(Ref, Level);
+    auto It = H.VirtualObjects.find(Key);
+    if (It != H.VirtualObjects.end())
+      return It->second;
+    ObjectId Id = static_cast<ObjectId>(H.Objects.size());
+    SSAObject Obj;
+    Obj.K = SSAObject::Kind::Virtual;
+    Obj.Sym = Ref.Base;
+    Obj.Ref = levelRef(Ref, Level);
+    H.Objects.push_back(Obj);
+    H.VirtualObjects[Key] = Id;
+    return Id;
+  }
+
+  /// Level objects of \p Ref, base symbol first.
+  std::vector<ObjectId> levelObjects(const MemRef &Ref) {
+    std::vector<ObjectId> Objs;
+    Objs.push_back(symbolObject(Ref.Base));
+    for (unsigned L = 1; L <= Ref.Depth; ++L)
+      Objs.push_back(vvarObject(Ref, L));
+    return Objs;
+  }
+
+  void discoverObjects() {
+    for (unsigned BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+        Stmt *S = BB->stmt(SI);
+        if (!S->accessesMemory())
+          continue;
+        std::vector<ObjectId> Objs = levelObjects(S->Ref);
+        AccessLevels[S] = Objs;
+        // Pointee symbols of every level become objects too, and the
+        // observed targets feed the per-vvar profiled-target sets.
+        for (unsigned L = 1; L <= S->Ref.Depth; ++L) {
+          for (const Symbol *Pointee :
+               AA.mayPointees(levelRef(S->Ref, L), &F))
+            symbolObject(Pointee);
+          if (Profile)
+            if (const std::set<unsigned> *T =
+                    Profile->targets(&F, S->Id, L))
+              ProfiledTargets[Objs[L]].insert(T->begin(), T->end());
+        }
+      }
+    }
+  }
+
+  /// True if the profile proves the vvar \p Obj never touched \p Sym.
+  bool vvarAvoidsSymbol(ObjectId Obj, const Symbol *Sym) const {
+    if (!Profile)
+      return false;
+    auto It = ProfiledTargets.find(Obj);
+    if (It == ProfiledTargets.end())
+      return true; // Never executed: everything is speculative.
+    return !It->second.count(Sym->Id) &&
+           !It->second.count(interp::AliasProfile::UnknownTarget);
+  }
+
+  /// True if the profile proves the store site \p S (final level targets)
+  /// and the vvar \p Obj are disjoint.
+  bool storeAvoidsVVar(const Stmt *S, ObjectId Obj) const {
+    if (!Profile)
+      return false;
+    const std::set<unsigned> *Stored =
+        Profile->targets(&F, S->Id, S->Ref.Depth);
+    if (!Stored)
+      return true; // Store never executed.
+    if (Stored->count(interp::AliasProfile::UnknownTarget))
+      return false;
+    auto It = ProfiledTargets.find(Obj);
+    if (It == ProfiledTargets.end())
+      return true;
+    const std::set<unsigned> &Used = It->second;
+    if (Used.count(interp::AliasProfile::UnknownTarget))
+      return false;
+    for (unsigned Sym : *Stored)
+      if (Used.count(Sym))
+        return false;
+    return true;
+  }
+
+  void planChisAndMus() {
+    // Interesting symbols for call clobbering: everything in the table.
+    for (unsigned BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+        Stmt *S = BB->stmt(SI);
+        switch (S->Kind) {
+        case StmtKind::Load:
+          planLoad(S);
+          break;
+        case StmtKind::Store:
+          planStore(S);
+          break;
+        case StmtKind::Call:
+          planCall(S);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  void planLoad(Stmt *S) {
+    // Interior levels and the final level each may-use their pointees.
+    auto &Mus = H.StmtMus[S];
+    for (unsigned L = 1; L <= S->Ref.Depth; ++L) {
+      MemRef LRef = levelRef(S->Ref, L);
+      for (const Symbol *Pointee : AA.mayPointees(LRef, &F)) {
+        MuRecord Mu;
+        Mu.Obj = symbolObject(Pointee);
+        Mu.Spec = Profile && !Profile->observed(&F, S->Id, L, Pointee);
+        Mu.S = S;
+        Mus.push_back(Mu);
+      }
+    }
+  }
+
+  void planStore(Stmt *S) {
+    auto &Plans = ChiPlans[S];
+    const std::vector<ObjectId> &Levels = AccessLevels[S];
+    ObjectId DataObj = Levels.back();
+    if (S->Ref.isDirect()) {
+      // Writes exactly the base symbol; χ every vvar that may overlap it.
+      for (auto &[Key, VObj] : H.VirtualObjects) {
+        const SSAObject &V = H.Objects[VObj];
+        if (!AA.mayAlias(S->Ref, &F, V.Ref, &F))
+          continue;
+        Plans.push_back({VObj, vvarAvoidsSymbol(VObj, S->Ref.Base)});
+      }
+      // Interior reads: none for direct stores.
+      return;
+    }
+    // Indirect store: real def of its own vvar (not a χ); χ on every
+    // may-pointee symbol and on every other overlapping vvar. Interior
+    // levels are reads and get μs like loads.
+    auto &Mus = H.StmtMus[S];
+    for (unsigned L = 1; L < S->Ref.Depth; ++L) {
+      MemRef LRef = levelRef(S->Ref, L);
+      for (const Symbol *Pointee : AA.mayPointees(LRef, &F)) {
+        MuRecord Mu;
+        Mu.Obj = symbolObject(Pointee);
+        Mu.Spec = Profile && !Profile->observed(&F, S->Id, L, Pointee);
+        Mu.S = S;
+        Mus.push_back(Mu);
+      }
+    }
+    for (const Symbol *Pointee : AA.mayPointees(S->Ref, &F)) {
+      bool Spec =
+          Profile && !Profile->observed(&F, S->Id, S->Ref.Depth, Pointee);
+      Plans.push_back({symbolObject(Pointee), Spec});
+    }
+    for (auto &[Key, VObj] : H.VirtualObjects) {
+      if (VObj == DataObj)
+        continue;
+      const SSAObject &V = H.Objects[VObj];
+      if (!AA.mayAlias(S->Ref, &F, V.Ref, &F))
+        continue;
+      Plans.push_back({VObj, storeAvoidsVVar(S, VObj)});
+    }
+  }
+
+  void planCall(Stmt *S) {
+    auto &Plans = ChiPlans[S];
+    // χ (never speculative) on every call-clobbered symbol object and
+    // every vvar that may reach one.
+    for (unsigned Obj = 0, E = static_cast<unsigned>(H.Objects.size());
+         Obj != E; ++Obj) {
+      const SSAObject &O = H.Objects[Obj];
+      if (O.K == SSAObject::Kind::Symbol) {
+        if (AA.isCallClobbered(O.Sym))
+          Plans.push_back({Obj, false});
+        continue;
+      }
+      for (const Symbol *Pointee : AA.mayPointees(O.Ref, &F)) {
+        if (AA.isCallClobbered(Pointee)) {
+          Plans.push_back({Obj, false});
+          break;
+        }
+      }
+    }
+  }
+
+  void insertPhis() {
+    unsigned NumObjs = static_cast<unsigned>(H.Objects.size());
+    std::vector<std::vector<BasicBlock *>> DefBlocks(NumObjs);
+    auto NoteDef = [&](ObjectId Obj, BasicBlock *BB) {
+      auto &V = DefBlocks[Obj];
+      if (V.empty() || V.back() != BB)
+        V.push_back(BB);
+    };
+    for (unsigned BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+      BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+        Stmt *S = BB->stmt(SI);
+        if (S->isStore())
+          NoteDef(AccessLevels[S].back(), BB);
+        auto It = ChiPlans.find(S);
+        if (It != ChiPlans.end())
+          for (const ChiPlan &Plan : It->second)
+            NoteDef(Plan.Obj, BB);
+      }
+    }
+    for (ObjectId Obj = 0; Obj != NumObjs; ++Obj) {
+      if (DefBlocks[Obj].empty())
+        continue;
+      for (BasicBlock *BB : DT.iteratedFrontier(DefBlocks[Obj])) {
+        PhiRecord Phi;
+        Phi.Obj = Obj;
+        Phi.BB = BB;
+        Phi.Args.assign(BB->preds().size(), 0);
+        H.BlockPhis[BB].push_back(Phi);
+      }
+    }
+  }
+
+  unsigned newVersion(ObjectId Obj, VersionOrigin Origin) {
+    auto &Vers = H.Origins[Obj];
+    Vers.push_back(Origin);
+    return static_cast<unsigned>(Vers.size()) - 1;
+  }
+
+  void rename() {
+    unsigned NumObjs = static_cast<unsigned>(H.Objects.size());
+    H.Origins.assign(NumObjs, {});
+    H.EntryVer.assign(F.numBlocks(), std::vector<unsigned>(NumObjs, 0));
+    H.ExitVer.assign(F.numBlocks(), std::vector<unsigned>(NumObjs, 0));
+    Stacks.assign(NumObjs, {});
+    for (ObjectId Obj = 0; Obj != NumObjs; ++Obj) {
+      VersionOrigin LiveIn;
+      LiveIn.K = VersionOrigin::Kind::LiveIn;
+      LiveIn.BB = F.entry();
+      newVersion(Obj, LiveIn);
+      Stacks[Obj].push_back(0);
+    }
+    renameBlock(F.entry());
+  }
+
+  void renameBlock(BasicBlock *BB) {
+    std::vector<ObjectId> Pushed;
+
+    auto Push = [&](ObjectId Obj, unsigned Ver) {
+      Stacks[Obj].push_back(Ver);
+      Pushed.push_back(Obj);
+    };
+    auto Top = [&](ObjectId Obj) { return Stacks[Obj].back(); };
+
+    // φ definitions first.
+    auto PhiIt = H.BlockPhis.find(BB);
+    if (PhiIt != H.BlockPhis.end()) {
+      for (unsigned PI = 0; PI < PhiIt->second.size(); ++PI) {
+        PhiRecord &Phi = PhiIt->second[PI];
+        VersionOrigin O;
+        O.K = VersionOrigin::Kind::Phi;
+        O.BB = BB;
+        O.PhiIndex = PI;
+        Phi.DefVer = newVersion(Phi.Obj, O);
+        Push(Phi.Obj, Phi.DefVer);
+      }
+    }
+    for (ObjectId Obj = 0; Obj < Stacks.size(); ++Obj)
+      H.EntryVer[BB->getId()][Obj] = Top(Obj);
+
+    for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+      Stmt *S = BB->stmt(SI);
+      // Record access-path versions for loads and stores.
+      if (S->accessesMemory()) {
+        StmtAccess Acc;
+        Acc.LevelObjs = AccessLevels[S];
+        for (ObjectId Obj : Acc.LevelObjs)
+          Acc.LevelVers.push_back(Top(Obj));
+        if (S->isStore()) {
+          VersionOrigin O;
+          O.K = VersionOrigin::Kind::RealDef;
+          O.DefStmt = S;
+          O.BB = BB;
+          ObjectId DataObj = Acc.LevelObjs.back();
+          Acc.DefVer = newVersion(DataObj, O);
+          Push(DataObj, Acc.DefVer);
+        }
+        H.StmtAccesses[S] = std::move(Acc);
+      }
+      // μ versions.
+      auto MuIt = H.StmtMus.find(S);
+      if (MuIt != H.StmtMus.end())
+        for (MuRecord &Mu : MuIt->second)
+          Mu.Ver = Top(Mu.Obj);
+      // χ defs.
+      auto ChiIt = ChiPlans.find(S);
+      if (ChiIt != ChiPlans.end()) {
+        for (const ChiPlan &Plan : ChiIt->second) {
+          ChiRecord Chi;
+          Chi.Obj = Plan.Obj;
+          Chi.Spec = Plan.Spec;
+          Chi.S = S;
+          Chi.BB = BB;
+          Chi.UseVer = Top(Plan.Obj);
+          VersionOrigin O;
+          O.K = VersionOrigin::Kind::Chi;
+          O.DefStmt = S;
+          O.BB = BB;
+          O.ChiIndex = static_cast<unsigned>(H.Chis.size());
+          Chi.DefVer = newVersion(Plan.Obj, O);
+          Push(Plan.Obj, Chi.DefVer);
+          H.StmtChis[S].push_back(static_cast<unsigned>(H.Chis.size()));
+          H.Chis.push_back(Chi);
+        }
+      }
+    }
+    for (ObjectId Obj = 0; Obj < Stacks.size(); ++Obj)
+      H.ExitVer[BB->getId()][Obj] = Top(Obj);
+
+    // Fill successor φ arguments.
+    for (BasicBlock *Succ : BB->succs()) {
+      auto SuccPhiIt = H.BlockPhis.find(Succ);
+      if (SuccPhiIt == H.BlockPhis.end())
+        continue;
+      const auto &Preds = Succ->preds();
+      for (size_t PI = 0; PI < Preds.size(); ++PI) {
+        if (Preds[PI] != BB)
+          continue;
+        for (PhiRecord &Phi : SuccPhiIt->second)
+          Phi.Args[PI] = Top(Phi.Obj);
+      }
+    }
+
+    for (BasicBlock *Kid : DT.children(BB))
+      renameBlock(Kid);
+
+    for (auto It = Pushed.rbegin(); It != Pushed.rend(); ++It)
+      Stacks[*It].pop_back();
+  }
+
+  void computeCanonical() {
+    H.Canonical = H.canonicalMap(
+        [](const ChiRecord &Chi) { return Chi.Spec; });
+  }
+
+  HSSA &H;
+  ir::Function &F;
+  const DominatorTree &DT;
+  const alias::AliasAnalysis &AA;
+  const interp::AliasProfile *Profile;
+
+  std::map<const Stmt *, std::vector<ObjectId>> AccessLevels;
+  std::map<const Stmt *, std::vector<ChiPlan>> ChiPlans;
+  std::map<ObjectId, std::set<unsigned>> ProfiledTargets;
+  std::vector<std::vector<unsigned>> Stacks;
+};
+
+} // namespace srp::ssa
+
+HSSA::HSSA(ir::Function &F, const DominatorTree &DT,
+           const alias::AliasAnalysis &AA,
+           const interp::AliasProfile *Profile)
+    : F(F) {
+  HSSABuilder(*this, DT, AA, Profile).run();
+}
+
+ObjectId HSSA::symbolObject(const ir::Symbol *Sym) const {
+  auto It = SymbolObjects.find(Sym);
+  return It == SymbolObjects.end() ? InvalidObject : It->second;
+}
+
+ObjectId HSSA::vvarObject(const ir::MemRef &Ref) const {
+  if (Ref.isDirect())
+    return symbolObject(Ref.Base);
+  auto It = VirtualObjects.find(vkeyFor(Ref, Ref.Depth));
+  return It == VirtualObjects.end() ? InvalidObject : It->second;
+}
+
+std::vector<ObjectId> HSSA::refObjects(const ir::MemRef &Ref) const {
+  std::vector<ObjectId> Objs;
+  Objs.push_back(symbolObject(Ref.Base));
+  for (unsigned L = 1; L <= Ref.Depth; ++L) {
+    auto It = VirtualObjects.find(vkeyFor(Ref, L));
+    Objs.push_back(It == VirtualObjects.end() ? InvalidObject : It->second);
+  }
+  return Objs;
+}
+
+const StmtAccess *HSSA::accessInfo(const ir::Stmt *S) const {
+  auto It = StmtAccesses.find(S);
+  return It == StmtAccesses.end() ? nullptr : &It->second;
+}
+
+const std::vector<unsigned> &HSSA::chiIndicesOf(const ir::Stmt *S) const {
+  static const std::vector<unsigned> Empty;
+  auto It = StmtChis.find(S);
+  return It == StmtChis.end() ? Empty : It->second;
+}
+
+const std::vector<MuRecord> &HSSA::musOf(const ir::Stmt *S) const {
+  static const std::vector<MuRecord> Empty;
+  auto It = StmtMus.find(S);
+  return It == StmtMus.end() ? Empty : It->second;
+}
+
+const std::vector<PhiRecord> &HSSA::phisOf(const ir::BasicBlock *BB) const {
+  static const std::vector<PhiRecord> Empty;
+  auto It = BlockPhis.find(BB);
+  return It == BlockPhis.end() ? Empty : It->second;
+}
+
+// Optimistic fixpoint over a two-level lattice (Unknown above everything,
+// then concrete/self): collapsible χ defs take the canonical version they
+// shadow; φs take the single canonical version of their arguments (cycles
+// through still-Unknown arguments are ignored optimistically, which is what
+// lets loop-carried φs collapse, Figure 3) or pin to themselves on a real
+// merge.
+std::vector<std::vector<unsigned>> HSSA::canonicalMap(
+    const std::function<bool(const ChiRecord &)> &Collapsible) const {
+  constexpr unsigned Unknown = ~0u;
+  unsigned NumObjs = static_cast<unsigned>(Objects.size());
+  std::vector<std::vector<unsigned>> Canonical(NumObjs);
+  for (ObjectId Obj = 0; Obj != NumObjs; ++Obj) {
+    auto &Canon = Canonical[Obj];
+    Canon.assign(Origins[Obj].size(), Unknown);
+    for (unsigned Ver = 0; Ver < Canon.size(); ++Ver) {
+      const VersionOrigin &O = Origins[Obj][Ver];
+      bool SelfCanonical =
+          O.K == VersionOrigin::Kind::LiveIn ||
+          O.K == VersionOrigin::Kind::RealDef ||
+          (O.K == VersionOrigin::Kind::Chi &&
+           !Collapsible(Chis[O.ChiIndex]));
+      if (SelfCanonical)
+        Canon[Ver] = Ver;
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ObjectId Obj = 0; Obj != NumObjs; ++Obj) {
+      auto &Canon = Canonical[Obj];
+      for (unsigned Ver = 0; Ver < Canon.size(); ++Ver) {
+        if (Canon[Ver] == Ver)
+          continue; // Already pinned to self.
+        const VersionOrigin &O = Origins[Obj][Ver];
+        unsigned NewVal = Canon[Ver];
+        if (O.K == VersionOrigin::Kind::Chi) {
+          NewVal = Canon[Chis[O.ChiIndex].UseVer];
+        } else if (O.K == VersionOrigin::Kind::Phi) {
+          const PhiRecord &Phi = BlockPhis.at(O.BB)[O.PhiIndex];
+          NewVal = Unknown;
+          for (unsigned Arg : Phi.Args) {
+            unsigned ArgCanon = Canon[Arg];
+            if (ArgCanon == Unknown)
+              continue; // Optimistically ignore cycles.
+            if (NewVal == Unknown)
+              NewVal = ArgCanon;
+            else if (NewVal != ArgCanon)
+              NewVal = Ver; // Real merge: canonical is itself.
+          }
+        }
+        if (NewVal != Canon[Ver] && NewVal != Unknown) {
+          Canon[Ver] = NewVal;
+          Changed = true;
+        }
+      }
+    }
+  }
+  // Anything still unknown is an unresolvable self-cycle; pin to self.
+  for (ObjectId Obj = 0; Obj != NumObjs; ++Obj)
+    for (unsigned Ver = 0; Ver < Canonical[Obj].size(); ++Ver)
+      if (Canonical[Obj][Ver] == Unknown)
+        Canonical[Obj][Ver] = Ver;
+  return Canonical;
+}
+
+std::vector<const ChiRecord *>
+HSSA::speculatedChis(ObjectId Obj, unsigned CanonicalVer) const {
+  std::vector<const ChiRecord *> Result;
+  for (const ChiRecord &Chi : Chis)
+    if (Chi.Obj == Obj && Chi.Spec &&
+        Canonical[Obj][Chi.DefVer] == CanonicalVer)
+      Result.push_back(&Chi);
+  return Result;
+}

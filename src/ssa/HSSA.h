@@ -1,0 +1,237 @@
+//===- HSSA.h - Alias-aware SSA with chi/mu and speculation -----*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HSSA-style SSA form of Chow et al. (CC'96) as adopted by ORC, plus
+/// the paper's speculative extension (§3.1):
+///
+///  * every *symbol* and every *virtual variable* (one per lexical indirect
+///    reference) carries SSA versions;
+///  * stores and calls carry χ operations (may-defs) on everything they may
+///    alias; loads carry μ operations (may-uses) on their may-pointees;
+///  * with an alias profile attached, χ/μ whose target was never observed
+///    at run time are flagged *speculative* (χ_s / μ_s, Figure 5);
+///  * specCanonicalVersion() exposes the paper's speculative Rename rule:
+///    versions created only by speculative χs (and φs that merge nothing
+///    else) collapse to the version they shadow, which is what lets the
+///    promotion pass treat the occurrences as redundant.
+///
+/// The IR invariant that temps are single-assignment (each temp has exactly
+/// one defining statement) means temps need no versions here; an index
+/// temp's defining statement is simply an extra kill site for expressions
+/// using it, handled by the PRE pass directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SSA_HSSA_H
+#define SRP_SSA_HSSA_H
+
+#include "alias/AliasAnalysis.h"
+#include "interp/Profile.h"
+#include "ir/CFG.h"
+#include "ssa/Dominators.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace srp::ssa {
+
+/// Index into the HSSA object table.
+using ObjectId = unsigned;
+inline constexpr ObjectId InvalidObject = ~0u;
+
+/// One versioned entity: a symbol's memory content, or a virtual variable
+/// standing for the locations a lexical indirect reference can touch.
+struct SSAObject {
+  enum class Kind : uint8_t { Symbol, Virtual };
+
+  Kind K = Kind::Symbol;
+  const ir::Symbol *Sym = nullptr; ///< Symbol kind: the symbol itself.
+  ir::MemRef Ref;                  ///< Virtual kind: canonical lexical ref.
+
+  bool isVirtual() const { return K == Kind::Virtual; }
+
+  /// "a" for symbols, "v(*p)" style for virtual variables.
+  std::string name() const;
+};
+
+/// A may-def: the statement may overwrite Obj; DefVer shadows UseVer.
+struct ChiRecord {
+  ObjectId Obj = InvalidObject;
+  unsigned DefVer = 0;
+  unsigned UseVer = 0;
+  bool Spec = false;           ///< χ_s: profile says this def never happens.
+  const ir::Stmt *S = nullptr;
+  ir::BasicBlock *BB = nullptr;
+};
+
+/// A may-use: the load may read Obj at version Ver.
+struct MuRecord {
+  ObjectId Obj = InvalidObject;
+  unsigned Ver = 0;
+  bool Spec = false;           ///< μ_s: profile says this use never happens.
+  const ir::Stmt *S = nullptr;
+};
+
+/// A variable φ at a block head. Args are parallel to BB->preds().
+struct PhiRecord {
+  ObjectId Obj = InvalidObject;
+  unsigned DefVer = 0;
+  std::vector<unsigned> Args;
+  ir::BasicBlock *BB = nullptr;
+};
+
+/// Provenance of one version of one object.
+struct VersionOrigin {
+  enum class Kind : uint8_t { LiveIn, RealDef, Chi, Phi };
+  Kind K = Kind::LiveIn;
+  const ir::Stmt *DefStmt = nullptr; ///< RealDef and Chi.
+  ir::BasicBlock *BB = nullptr;
+  unsigned ChiIndex = ~0u;           ///< Into chis().
+  unsigned PhiIndex = ~0u;           ///< Into phis().
+};
+
+/// Versions a load/store sees along its access path.
+///
+/// LevelObjs/LevelVers have Depth+1 entries: index 0 is the base symbol's
+/// content (the address chain's root), index i (1..Depth) is the virtual
+/// variable of the i-th dereference; for direct references there is just
+/// the one entry (the symbol). The last entry is the *data object*.
+struct StmtAccess {
+  std::vector<ObjectId> LevelObjs;
+  std::vector<unsigned> LevelVers;
+  unsigned DefVer = 0; ///< Stores: the new version of the data object.
+
+  ObjectId dataObj() const { return LevelObjs.back(); }
+  unsigned dataVer() const { return LevelVers.back(); }
+};
+
+/// The computed SSA form for one function. Immutable once built; passes
+/// that transform the IR must rebuild it.
+class HSSA {
+public:
+  /// Builds the form. \p Profile may be null: every χ/μ is then real and
+  /// specCanonicalVersion degenerates to the identity (no speculation).
+  HSSA(ir::Function &F, const DominatorTree &DT,
+       const alias::AliasAnalysis &AA,
+       const interp::AliasProfile *Profile);
+
+  ir::Function &function() const { return F; }
+
+  //===--------------------------------------------------------------===//
+  // Object table
+  //===--------------------------------------------------------------===//
+
+  unsigned numObjects() const {
+    return static_cast<unsigned>(Objects.size());
+  }
+  const SSAObject &object(ObjectId Id) const { return Objects[Id]; }
+
+  /// Object of a symbol's content; InvalidObject if the function never
+  /// references it.
+  ObjectId symbolObject(const ir::Symbol *Sym) const;
+
+  /// Virtual variable of the final level of \p Ref (indirect refs only).
+  ObjectId vvarObject(const ir::MemRef &Ref) const;
+
+  /// All level objects of \p Ref, base first (see StmtAccess).
+  std::vector<ObjectId> refObjects(const ir::MemRef &Ref) const;
+
+  //===--------------------------------------------------------------===//
+  // Per-statement and per-block annotations
+  //===--------------------------------------------------------------===//
+
+  /// Access-path versions at a Load or Store; null for other statements.
+  const StmtAccess *accessInfo(const ir::Stmt *S) const;
+
+  /// χ operations attached to \p S (stores and calls).
+  const std::vector<unsigned> &chiIndicesOf(const ir::Stmt *S) const;
+
+  const std::vector<MuRecord> &musOf(const ir::Stmt *S) const;
+
+  const std::vector<PhiRecord> &phisOf(const ir::BasicBlock *BB) const;
+
+  const std::vector<ChiRecord> &chis() const { return Chis; }
+  const ChiRecord &chi(unsigned Index) const { return Chis[Index]; }
+
+  /// Version of \p Obj live after the φs of \p BB.
+  unsigned versionAtEntry(const ir::BasicBlock *BB, ObjectId Obj) const {
+    return EntryVer[BB->getId()][Obj];
+  }
+
+  /// Version of \p Obj live at the end of \p BB.
+  unsigned versionAtExit(const ir::BasicBlock *BB, ObjectId Obj) const {
+    return ExitVer[BB->getId()][Obj];
+  }
+
+  unsigned numVersions(ObjectId Obj) const {
+    return static_cast<unsigned>(Origins[Obj].size());
+  }
+  const VersionOrigin &origin(ObjectId Obj, unsigned Ver) const {
+    return Origins[Obj][Ver];
+  }
+
+  //===--------------------------------------------------------------===//
+  // Speculative renaming support (§3.3)
+  //===--------------------------------------------------------------===//
+
+  /// The version \p Ver collapses to when speculative χs are ignored and
+  /// φs that merge a single speculative-canonical version are looked
+  /// through. Equal canonical versions mean "speculatively redundant".
+  unsigned specCanonicalVersion(ObjectId Obj, unsigned Ver) const {
+    return Canonical[Obj][Ver];
+  }
+
+  /// Generalized collapse: computes a canonical-version map that looks
+  /// through every χ for which \p Collapsible returns true (and φs whose
+  /// arguments all collapse to one version). The promotion strategies
+  /// instantiate this differently: ALAT collapses speculative χs, the
+  /// software-check baseline collapses all store χs it can guard with an
+  /// address compare.
+  std::vector<std::vector<unsigned>>
+  canonicalMap(const std::function<bool(const ChiRecord &)> &Collapsible)
+      const;
+
+  /// The speculative χ records a reuse of canonical version
+  /// specCanonicalVersion(Obj, Ver) speculates across, i.e. every spec χ
+  /// of Obj whose Def collapses to that canonical version. These are the
+  /// stores after which the promotion pass must place check statements.
+  std::vector<const ChiRecord *> speculatedChis(ObjectId Obj,
+                                                unsigned CanonicalVer) const;
+
+private:
+  friend class HSSABuilder;
+
+  ir::Function &F;
+  std::vector<SSAObject> Objects;
+  std::map<const ir::Symbol *, ObjectId> SymbolObjects;
+  /// Virtual variable lookup: key fields of the canonical ref.
+  struct VKey {
+    unsigned BaseId;
+    unsigned Depth;
+    int IndexKind; ///< 0 none, 1 temp, 2 const
+    uint64_t IndexVal;
+    int64_t Offset;
+    bool operator<(const VKey &O) const;
+  };
+  std::map<VKey, ObjectId> VirtualObjects;
+  static VKey vkeyFor(const ir::MemRef &Ref, unsigned Level);
+
+  std::vector<ChiRecord> Chis;
+  std::map<const ir::Stmt *, std::vector<unsigned>> StmtChis;
+  std::map<const ir::Stmt *, std::vector<MuRecord>> StmtMus;
+  std::map<const ir::Stmt *, StmtAccess> StmtAccesses;
+  std::map<const ir::BasicBlock *, std::vector<PhiRecord>> BlockPhis;
+  std::vector<std::vector<unsigned>> EntryVer, ExitVer; ///< [block][obj]
+  std::vector<std::vector<VersionOrigin>> Origins;      ///< [obj][ver]
+  std::vector<std::vector<unsigned>> Canonical;         ///< [obj][ver]
+};
+
+} // namespace srp::ssa
+
+#endif // SRP_SSA_HSSA_H

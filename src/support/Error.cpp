@@ -1,0 +1,21 @@
+//===- Error.cpp - Fatal error reporting ----------------------------------===//
+
+#include "support/Error.h"
+
+#include "support/OStream.h"
+
+#include <cstdlib>
+
+using namespace srp;
+
+void srp::fatalError(std::string_view Message) {
+  errs() << "fatal error: " << Message << '\n';
+  errs().flush();
+  std::abort();
+}
+
+void srp::unreachable(const char *Message) {
+  errs() << "unreachable executed: " << Message << '\n';
+  errs().flush();
+  std::abort();
+}

@@ -1,0 +1,32 @@
+//===- Error.h - Fatal error reporting --------------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and an unreachable marker. The project does not use
+/// C++ exceptions; unrecoverable conditions (verifier failures, malformed
+/// inputs in tools) report and abort, while recoverable conditions (the IR
+/// text parser) return error strings to the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_ERROR_H
+#define SRP_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace srp {
+
+/// Prints "fatal error: <message>" to stderr and aborts.
+[[noreturn]] void fatalError(std::string_view Message);
+
+/// Marks a point that must never execute; prints \p Message and aborts.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace srp
+
+#define SRP_UNREACHABLE(MSG) ::srp::unreachable(MSG)
+
+#endif // SRP_SUPPORT_ERROR_H

@@ -1,0 +1,72 @@
+//===- RNG.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random generator (SplitMix64). Workload
+/// generators, property tests and the simulator's synthetic inputs all need
+/// reproducible randomness that is identical across platforms and standard
+/// library implementations, which std::mt19937 + distributions are not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_RNG_H
+#define SRP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace srp {
+
+/// Deterministic SplitMix64 generator.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Prob (clamped to [0,1]).
+  bool nextBool(double Prob) {
+    if (Prob <= 0.0)
+      return false;
+    if (Prob >= 1.0)
+      return true;
+    return nextDouble() < Prob;
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_RNG_H

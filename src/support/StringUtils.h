@@ -1,0 +1,37 @@
+//===- StringUtils.h - String helpers ---------------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style string formatting and small string helpers shared by the IR
+/// printer, the assembly printer and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_STRINGUTILS_H
+#define SRP_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srp {
+
+/// Returns the printf-style formatting of \p Fmt with the given arguments.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Str on \p Sep, dropping empty pieces.
+std::vector<std::string_view> splitString(std::string_view Str, char Sep);
+
+/// Returns \p Str with leading and trailing whitespace removed.
+std::string_view trimString(std::string_view Str);
+
+/// Returns true if \p Str begins with \p Prefix.
+bool startsWith(std::string_view Str, std::string_view Prefix);
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,253 @@
+//===- FpWorkloads.cpp - Floating-point SPEC-like workloads -------------------===//
+//
+// The floating-point three: ammp, art, equake. Their defining property in
+// the paper's evaluation is that eliminated loads are *floating point*
+// loads, which cost 9 cycles (L2) instead of 2 (L1) on Itanium — so the
+// same number of removed loads buys far more cycles (§4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/LoopHelper.h"
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::core;
+using namespace srp::workloads;
+
+namespace {
+
+void emitFpChecksum(IRBuilder &B, Symbol *Acc) {
+  unsigned T = B.emitLoad(directRef(Acc));
+  unsigned TI = B.emitAssign(Opcode::FpToInt, Operand::temp(T));
+  B.emitPrint(Operand::temp(TI));
+  B.setRet(Operand::temp(TI));
+}
+
+void seedPointer(IRBuilder &B, Symbol *P, Symbol *Real, Symbol *Decoy,
+                 Symbol *AlwaysZero) {
+  BasicBlock *DecoyBB = B.createBlock(P->Name + ".decoy");
+  BasicBlock *Join = B.createBlock(P->Name + ".seeded");
+  unsigned TZ = B.emitLoad(directRef(AlwaysZero));
+  B.setCondBr(Operand::temp(TZ), DecoyBB, Join);
+  B.setBlock(DecoyBB);
+  unsigned TD = B.emitAddrOf(Decoy);
+  B.emitStore(directRef(P), Operand::temp(TD));
+  B.setBr(Join);
+  B.setBlock(Join);
+  unsigned TR = B.emitAddrOf(Real);
+  B.emitStore(directRef(P), Operand::temp(TR));
+}
+
+void fpAccumulate(IRBuilder &B, Symbol *Acc, unsigned FloatTemp) {
+  unsigned TAcc = B.emitLoad(directRef(Acc));
+  unsigned TSum = B.emitAssign(Opcode::FAdd, Operand::temp(TAcc),
+                               Operand::temp(FloatTemp));
+  B.emitStore(directRef(Acc), Operand::temp(TSum));
+}
+
+//===----------------------------------------------------------------------===//
+// ammp — molecular dynamics flavour: per-atom force accumulation where
+// the mass parameter is read through a pointer on every interaction and
+// forces are scattered through an ambiguous pointer. Indirect FP loads
+// dominate the reduction.
+//===----------------------------------------------------------------------===//
+
+void buildAmmp(Module &M, uint64_t Scale) {
+  const int64_t Pairs = static_cast<int64_t>(1500 * Scale);
+  Symbol *Pos = M.createGlobal("pos", TypeKind::Float, 64);
+  Symbol *Mass = M.createGlobal("mass", TypeKind::Float);
+  Symbol *ForceSlot = M.createGlobal("force_slot", TypeKind::Float, 2);
+  Symbol *MassPtr = M.createGlobal("mass_ptr", TypeKind::Int);
+  Symbol *ForcePtr = M.createGlobal("force_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *J = M.createGlobal("j", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Float);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  LoopCtx Fill = beginLoop(B, J, Operand::constInt(64));
+  {
+    unsigned TF = B.emitAssign(Opcode::IntToFp,
+                               Operand::temp(Fill.IdxTemp));
+    unsigned TV = B.emitAssign(Opcode::FMul, Operand::temp(TF),
+                               Operand::constFloat(0.125));
+    B.emitStore(arrayRef(Pos, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TV));
+  }
+  endLoop(B, Fill);
+  B.emitStore(directRef(Mass), Operand::constFloat(1.5));
+  // mass_ptr statically may point at force_slot (then *force_ptr stores
+  // would kill it); dynamically it always points at mass.
+  seedPointer(B, MassPtr, Mass, ForceSlot, Zero);
+  seedPointer(B, ForcePtr, ForceSlot, Mass, Zero);
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Pairs));
+  {
+    unsigned TI = L.IdxTemp;
+    // m = *mass_ptr  (promotable indirect FP load)
+    unsigned TM = B.emitLoad(indirectRef(MassPtr, TypeKind::Float));
+    unsigned TIdx = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(63));
+    unsigned TP = B.emitLoad(arrayRef(Pos, Operand::temp(TIdx)));
+    unsigned TF = B.emitAssign(Opcode::FMul, Operand::temp(TM),
+                               Operand::temp(TP));
+    // Scatter both force components through the ambiguous pointer.
+    B.emitStore(indirectRef(ForcePtr, TypeKind::Float),
+                Operand::temp(TF));
+    B.emitStore(indirectRef(ForcePtr, TypeKind::Float, 8),
+                Operand::temp(TP));
+    // m2 = *mass_ptr  (speculative reuse) — 9-cycle load saved.
+    unsigned TM2 = B.emitLoad(indirectRef(MassPtr, TypeKind::Float));
+    unsigned TF2 = B.emitAssign(Opcode::FMul, Operand::temp(TM2),
+                                Operand::temp(TP));
+    fpAccumulate(B, Acc, TF2);
+  }
+  endLoop(B, L);
+  emitFpChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// art — neural-net flavour: the scaling weight scalar is re-read around
+// per-neuron bias updates through an ambiguous pointer. A mix of direct
+// FP array loads and the promotable scalar.
+//===----------------------------------------------------------------------===//
+
+void buildArt(Module &M, uint64_t Scale) {
+  const int64_t Steps = static_cast<int64_t>(1800 * Scale);
+  Symbol *W = M.createGlobal("weights", TypeKind::Float, 32);
+  Symbol *Gain = M.createGlobal("gain", TypeKind::Float);
+  Symbol *Bias = M.createGlobal("bias", TypeKind::Float, 2);
+  Symbol *BiasPtr = M.createGlobal("bias_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *J = M.createGlobal("j", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Float);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  LoopCtx Fill = beginLoop(B, J, Operand::constInt(32));
+  {
+    unsigned TF = B.emitAssign(Opcode::IntToFp,
+                               Operand::temp(Fill.IdxTemp));
+    B.emitStore(arrayRef(W, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TF));
+  }
+  endLoop(B, Fill);
+  B.emitStore(directRef(Gain), Operand::constFloat(0.75));
+  seedPointer(B, BiasPtr, Bias, Gain, Zero);
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Steps));
+  {
+    unsigned TI = L.IdxTemp;
+    unsigned TG = B.emitLoad(directRef(Gain)); // promotable FP scalar
+    unsigned TIdx = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(31));
+    unsigned TW = B.emitLoad(arrayRef(W, Operand::temp(TIdx)));
+    unsigned TAct = B.emitAssign(Opcode::FMul, Operand::temp(TG),
+                                 Operand::temp(TW));
+    // Bias and momentum updates through the ambiguous pointer.
+    B.emitStore(indirectRef(BiasPtr, TypeKind::Float),
+                Operand::temp(TAct));
+    B.emitStore(indirectRef(BiasPtr, TypeKind::Float, 8),
+                Operand::temp(TW));
+    unsigned TG2 = B.emitLoad(directRef(Gain)); // speculative reuse
+    unsigned TOut = B.emitAssign(Opcode::FMul, Operand::temp(TG2),
+                                 Operand::temp(TAct));
+    fpAccumulate(B, Acc, TOut);
+  }
+  endLoop(B, L);
+  emitFpChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// equake — sparse matvec flavour: K[col[j]] style gathers with a damping
+// scalar re-read around result scatters through an ambiguous pointer.
+//===----------------------------------------------------------------------===//
+
+void buildEquake(Module &M, uint64_t Scale) {
+  const int64_t Rows = static_cast<int64_t>(1200 * Scale);
+  Symbol *K = M.createGlobal("stiffness", TypeKind::Float, 64);
+  Symbol *Col = M.createGlobal("col", TypeKind::Int, 64);
+  Symbol *Damp = M.createGlobal("damp", TypeKind::Float);
+  Symbol *OutSlot = M.createGlobal("out_slot", TypeKind::Float, 2);
+  Symbol *OutPtr = M.createGlobal("out_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *J = M.createGlobal("j", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Float);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  LoopCtx Fill = beginLoop(B, J, Operand::constInt(64));
+  {
+    unsigned TF = B.emitAssign(Opcode::IntToFp,
+                               Operand::temp(Fill.IdxTemp));
+    unsigned TV = B.emitAssign(Opcode::FAdd, Operand::temp(TF),
+                               Operand::constFloat(0.5));
+    B.emitStore(arrayRef(K, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TV));
+    unsigned TC = B.emitAssign(Opcode::Mul, Operand::temp(Fill.IdxTemp),
+                               Operand::constInt(13));
+    unsigned TCm = B.emitAssign(Opcode::And, Operand::temp(TC),
+                                Operand::constInt(63));
+    B.emitStore(arrayRef(Col, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TCm));
+  }
+  endLoop(B, Fill);
+  B.emitStore(directRef(Damp), Operand::constFloat(0.98));
+  seedPointer(B, OutPtr, OutSlot, Damp, Zero);
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Rows));
+  {
+    unsigned TI = L.IdxTemp;
+    unsigned TD = B.emitLoad(directRef(Damp)); // promotable FP scalar
+    unsigned TIdx = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(63));
+    unsigned TCol = B.emitLoad(arrayRef(Col, Operand::temp(TIdx)));
+    unsigned TK = B.emitLoad(arrayRef(K, Operand::temp(TCol)));
+    unsigned TV = B.emitAssign(Opcode::FMul, Operand::temp(TD),
+                               Operand::temp(TK));
+    B.emitStore(indirectRef(OutPtr, TypeKind::Float), Operand::temp(TV));
+    B.emitStore(indirectRef(OutPtr, TypeKind::Float, 8),
+                Operand::temp(TK));
+    unsigned TD2 = B.emitLoad(directRef(Damp)); // speculative reuse
+    unsigned TV2 = B.emitAssign(Opcode::FMul, Operand::temp(TD2),
+                                Operand::temp(TK));
+    fpAccumulate(B, Acc, TV2);
+  }
+  endLoop(B, L);
+  emitFpChecksum(B, Acc);
+}
+
+Workload makeFpWorkload(const char *Name,
+                        void (*Build)(Module &, uint64_t)) {
+  Workload W;
+  W.Name = Name;
+  W.Build = Build;
+  W.FloatingPoint = true;
+  W.TrainScale = 1;
+  W.RefScale = 4;
+  return W;
+}
+
+} // namespace
+
+core::Workload srp::workloads::ammpWorkload() {
+  return makeFpWorkload("ammp", buildAmmp);
+}
+core::Workload srp::workloads::artWorkload() {
+  return makeFpWorkload("art", buildArt);
+}
+core::Workload srp::workloads::equakeWorkload() {
+  return makeFpWorkload("equake", buildEquake);
+}
+
+std::vector<core::Workload> srp::workloads::standardWorkloads() {
+  return {ammpWorkload(),   artWorkload(),    equakeWorkload(),
+          bzip2Workload(),  gzipWorkload(),   mcfWorkload(),
+          parserWorkload(), twolfWorkload(),  vortexWorkload(),
+          vprWorkload()};
+}

@@ -1,0 +1,602 @@
+//===- IntWorkloads.cpp - Integer SPEC-like workloads -------------------------===//
+//
+// The integer seven: bzip2, gzip, mcf, parser, twolf, vortex, vpr. Each
+// builder follows the recipe the paper's benchmarks exhibit:
+//
+//  * a pointer is seeded with several possible targets (so Steensgaard
+//    must merge them and promotion is blocked without speculation), but
+//    holds one stable target in the hot phase;
+//  * a hot loop repeatedly reads a promotable location across a store
+//    the compiler cannot disambiguate;
+//  * a small fraction of iterations really collide in some workloads
+//    (gzip most prominently), exercising check failures;
+//  * a checksum is printed so every configuration is differentially
+//    comparable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/LoopHelper.h"
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::core;
+using namespace srp::workloads;
+
+namespace {
+
+/// Shared tail: print the checksum stored in \p Acc.
+void emitChecksum(IRBuilder &B, Symbol *Acc) {
+  unsigned T = B.emitLoad(directRef(Acc));
+  B.emitPrint(Operand::temp(T));
+  B.setRet(Operand::temp(T));
+}
+
+/// Seeds pointer \p P with &Decoy on a statically-possible path and &Real
+/// everywhere that actually executes. The decoy assignment sits behind a
+/// branch on \p AlwaysZero, which the compiler cannot fold (it is a
+/// memory load) but which never executes.
+void seedPointer(IRBuilder &B, Symbol *P, Symbol *Real, Symbol *Decoy,
+                 Symbol *AlwaysZero) {
+  BasicBlock *DecoyBB = B.createBlock(P->Name + ".decoy");
+  BasicBlock *Join = B.createBlock(P->Name + ".seeded");
+  unsigned TZ = B.emitLoad(directRef(AlwaysZero));
+  B.setCondBr(Operand::temp(TZ), DecoyBB, Join);
+  B.setBlock(DecoyBB);
+  unsigned TD = B.emitAddrOf(Decoy);
+  B.emitStore(directRef(P), Operand::temp(TD));
+  B.setBr(Join);
+  B.setBlock(Join);
+  unsigned TR = B.emitAddrOf(Real);
+  B.emitStore(directRef(P), Operand::temp(TR));
+}
+
+/// acc += v, via the Acc global.
+void accumulate(IRBuilder &B, Symbol *Acc, unsigned ValueTemp) {
+  unsigned TAcc = B.emitLoad(directRef(Acc));
+  unsigned TSum = B.emitAssign(Opcode::Add, Operand::temp(TAcc),
+                               Operand::temp(ValueTemp));
+  B.emitStore(directRef(Acc), Operand::temp(TSum));
+}
+
+//===----------------------------------------------------------------------===//
+// gzip — window compression with hash chains. The hash head cell is read
+// through a pointer around every position while chain updates go through
+// a second pointer that really collides on every 20th position (~5% of
+// the checks fail, Figure 10's gzip bar).
+//===----------------------------------------------------------------------===//
+
+void buildGzip(Module &M, uint64_t Scale) {
+  const int64_t N = static_cast<int64_t>(2000 * Scale);
+  Symbol *Window = M.createGlobal("window", TypeKind::Int, 256);
+  Symbol *HashHead = M.createGlobal("hash_head", TypeKind::Int, 2);
+  Symbol *ChainSlot = M.createGlobal("chain_slot", TypeKind::Int, 2);
+  Symbol *HeadPtr = M.createGlobal("head_ptr", TypeKind::Int);
+  Symbol *UpdPtr = M.createGlobal("upd_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *J = M.createGlobal("j", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  LoopCtx Fill = beginLoop(B, J, Operand::constInt(256));
+  {
+    unsigned TV = B.emitAssign(Opcode::Mul, Operand::temp(Fill.IdxTemp),
+                               Operand::constInt(37));
+    unsigned TM = B.emitAssign(Opcode::And, Operand::temp(TV),
+                               Operand::constInt(255));
+    B.emitStore(arrayRef(Window, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TM));
+  }
+  endLoop(B, Fill);
+
+  seedPointer(B, HeadPtr, HashHead, ChainSlot, Zero);
+  seedPointer(B, UpdPtr, ChainSlot, HashHead, Zero);
+  B.emitStore(directRef(HashHead), Operand::constInt(1));
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(N));
+  {
+    unsigned TI = L.IdxTemp;
+    // head = *head_ptr  (the promotable indirect load)
+    unsigned THead = B.emitLoad(indirectRef(HeadPtr, TypeKind::Int));
+    unsigned TIdx = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(255));
+    unsigned TWin = B.emitLoad(arrayRef(Window, Operand::temp(TIdx)));
+    unsigned TMix = B.emitAssign(Opcode::Xor, Operand::temp(THead),
+                                 Operand::temp(TWin));
+    // Past the train horizon (positions >= 2500, so never during the
+    // train run) every 20th position really targets the hash head — the
+    // profile therefore speculates, and the ref run mis-speculates on
+    // ~5% of its checks, Figure 10's gzip bar.
+    BasicBlock *Collide = B.createBlock("collide");
+    BasicBlock *NoCollide = B.createBlock("nocollide");
+    BasicBlock *AfterSel = B.createBlock("aftersel");
+    unsigned TRem = B.emitAssign(Opcode::Rem, Operand::temp(TI),
+                                 Operand::constInt(20));
+    unsigned TEq = B.emitAssign(Opcode::CmpEq, Operand::temp(TRem),
+                                 Operand::constInt(19));
+    unsigned TLate = B.emitAssign(Opcode::CmpLe, Operand::constInt(2500),
+                                  Operand::temp(TI));
+    unsigned TCol = B.emitAssign(Opcode::And, Operand::temp(TEq),
+                                 Operand::temp(TLate));
+    B.setCondBr(Operand::temp(TCol), Collide, NoCollide);
+    B.setBlock(Collide);
+    unsigned TH = B.emitAddrOf(HashHead);
+    B.emitStore(directRef(UpdPtr), Operand::temp(TH));
+    B.setBr(AfterSel);
+    B.setBlock(NoCollide);
+    unsigned TC2 = B.emitAddrOf(ChainSlot);
+    B.emitStore(directRef(UpdPtr), Operand::temp(TC2));
+    B.setBr(AfterSel);
+    B.setBlock(AfterSel);
+    // Two chain updates through the ambiguous pointer: one compare+move
+    // pair per store makes the software baseline decline this chain, but
+    // the ALAT still answers both with free checks.
+    B.emitStore(indirectRef(UpdPtr, TypeKind::Int), Operand::temp(TMix));
+    B.emitStore(indirectRef(UpdPtr, TypeKind::Int, 8),
+                Operand::temp(TIdx));
+    // head2 = *head_ptr  (speculative reuse across both stores)
+    unsigned THead2 = B.emitLoad(indirectRef(HeadPtr, TypeKind::Int));
+    accumulate(B, Acc, THead2);
+  }
+  endLoop(B, L);
+  emitChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// mcf — network-simplex flavour: a ring of heap arc nodes is walked while
+// node costs are updated through an ambiguous pointer that never actually
+// hits the walk pointer's cell. Indirect loads dominate.
+//===----------------------------------------------------------------------===//
+
+void buildMcf(Module &M, uint64_t Scale) {
+  const int64_t Nodes = 64;
+  const int64_t Steps = static_cast<int64_t>(3000 * Scale);
+  Symbol *Head = M.createGlobal("head", TypeKind::Int);
+  Symbol *Cur = M.createGlobal("cur", TypeKind::Int);
+  Symbol *CostPtr = M.createGlobal("cost_ptr", TypeKind::Int);
+  Symbol *Pot = M.createGlobal("potential", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *K = M.createGlobal("k", TypeKind::Int);
+  Symbol *Prev = M.createGlobal("prev", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  // Build a ring of nodes {cost, next}.
+  B.emitStore(directRef(Prev), Operand::constInt(0));
+  LoopCtx BuildL = beginLoop(B, K, Operand::constInt(Nodes));
+  {
+    unsigned TNode = B.emitAlloc(Operand::constInt(2), "mcf_node");
+    unsigned TCost = B.emitAssign(Opcode::Mul, Operand::temp(BuildL.IdxTemp),
+                                  Operand::constInt(7));
+    B.emitStore(directRef(Cur), Operand::temp(TNode));
+    B.emitStore(indirectRef(Cur, TypeKind::Int, 0), Operand::temp(TCost));
+    unsigned TPrev = B.emitLoad(directRef(Prev));
+    B.emitStore(indirectRef(Cur, TypeKind::Int, 8), Operand::temp(TPrev));
+    B.emitStore(directRef(Prev), Operand::temp(TNode));
+    B.emitStore(directRef(Head), Operand::temp(TNode));
+  }
+  endLoop(B, BuildL);
+
+  // The ambiguous cost pointer: statically it may point into the node
+  // ring (the decoy branch stores the head node's address), dynamically
+  // it always points at the potential scalar — so stores through it get
+  // speculative χs on the node fields the walk reads.
+  {
+    BasicBlock *DecoyBB = B.createBlock("cost_ptr.decoy");
+    BasicBlock *Join = B.createBlock("cost_ptr.seeded");
+    unsigned TZ = B.emitLoad(directRef(Zero));
+    B.setCondBr(Operand::temp(TZ), DecoyBB, Join);
+    B.setBlock(DecoyBB);
+    unsigned THd = B.emitLoad(directRef(Head));
+    B.emitStore(directRef(CostPtr), Operand::temp(THd));
+    B.setBr(Join);
+    B.setBlock(Join);
+    unsigned TPot = B.emitAddrOf(Pot);
+    B.emitStore(directRef(CostPtr), Operand::temp(TPot));
+  }
+
+  unsigned THead0 = B.emitLoad(directRef(Head));
+  B.emitStore(directRef(Cur), Operand::temp(THead0));
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Steps));
+  {
+    // cost = cur->cost; next = cur->next (indirect loads, promotable
+    // against *cost_ptr stores)
+    unsigned TCost = B.emitLoad(indirectRef(Cur, TypeKind::Int, 0));
+    B.emitStore(indirectRef(CostPtr, TypeKind::Int),
+                Operand::temp(TCost));
+    unsigned TDelta = B.emitAssign(Opcode::Add, Operand::temp(TCost),
+                                   Operand::constInt(1));
+    B.emitStore(indirectRef(CostPtr, TypeKind::Int),
+                Operand::temp(TDelta));
+    unsigned TCost2 = B.emitLoad(indirectRef(Cur, TypeKind::Int, 0));
+    accumulate(B, Acc, TCost2);
+    unsigned TNext = B.emitLoad(indirectRef(Cur, TypeKind::Int, 8));
+    BasicBlock *Wrap = B.createBlock("wrap");
+    BasicBlock *Cont = B.createBlock("cont");
+    unsigned TNz = B.emitAssign(Opcode::CmpNe, Operand::temp(TNext),
+                                Operand::constInt(0));
+    B.setCondBr(Operand::temp(TNz), Cont, Wrap);
+    B.setBlock(Wrap);
+    unsigned THead = B.emitLoad(directRef(Head));
+    B.emitStore(directRef(Cur), Operand::temp(THead));
+    B.setBr(L.Hdr); // jumps to the increment-free header: see below
+    B.setBlock(Cont);
+    B.emitStore(directRef(Cur), Operand::temp(TNext));
+  }
+  // NOTE: the Wrap path skips the counter increment on purpose (wrap
+  // steps are free); the loop still terminates because wraps happen at
+  // most once per Nodes steps.
+  endLoop(B, L);
+  emitChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// parser — dictionary lookups: linked lists per bucket; the dictionary
+// root pointer is re-read around node insertions. Indirect dominated.
+//===----------------------------------------------------------------------===//
+
+void buildParser(Module &M, uint64_t Scale) {
+  const int64_t Words = static_cast<int64_t>(1500 * Scale);
+  Symbol *DictRoot = M.createGlobal("dict_root", TypeKind::Int);
+  Symbol *RootPtr = M.createGlobal("root_ptr", TypeKind::Int);
+  Symbol *FreeList = M.createGlobal("free_list", TypeKind::Int);
+  Symbol *TouchPtr = M.createGlobal("touch_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *Cur = M.createGlobal("cur", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  seedPointer(B, RootPtr, DictRoot, FreeList, Zero);
+  seedPointer(B, TouchPtr, FreeList, DictRoot, Zero);
+  // Root node.
+  unsigned TRoot = B.emitAlloc(Operand::constInt(2), "dict_node");
+  B.emitStore(directRef(DictRoot), Operand::temp(TRoot));
+  B.emitStore(directRef(Cur), Operand::temp(TRoot));
+  B.emitStore(indirectRef(Cur, TypeKind::Int, 0), Operand::constInt(17));
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Words));
+  {
+    unsigned TI = L.IdxTemp;
+    // root = *root_ptr (promotable); walk one step through the list.
+    unsigned TR = B.emitLoad(indirectRef(RootPtr, TypeKind::Int));
+    B.emitStore(directRef(Cur), Operand::temp(TR));
+    unsigned TVal = B.emitLoad(indirectRef(Cur, TypeKind::Int, 0));
+    // Insert a node every 8th word (writes through cur, which may alias
+    // *root_ptr as far as the compiler knows).
+    BasicBlock *Insert = B.createBlock("insert");
+    BasicBlock *Skip = B.createBlock("skip");
+    unsigned TRem = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(7));
+    unsigned TDo = B.emitAssign(Opcode::CmpEq, Operand::temp(TRem),
+                                Operand::constInt(0));
+    B.setCondBr(Operand::temp(TDo), Insert, Skip);
+    B.setBlock(Insert);
+    unsigned TNode = B.emitAlloc(Operand::constInt(2), "word_node");
+    // Two bookkeeping stores through the ambiguous touch pointer: the
+    // compiler cannot rule out hits on the dict root cell.
+    B.emitStore(indirectRef(TouchPtr, TypeKind::Int),
+                Operand::temp(TNode));
+    unsigned TMix = B.emitAssign(Opcode::Add, Operand::temp(TVal),
+                                 Operand::temp(TI));
+    B.emitStore(indirectRef(TouchPtr, TypeKind::Int),
+                Operand::temp(TMix));
+    B.emitStore(indirectRef(Cur, TypeKind::Int, 0), Operand::temp(TMix));
+    B.setBr(Skip);
+    B.setBlock(Skip);
+    // root2 = *root_ptr (speculative reuse across the node store).
+    unsigned TR2 = B.emitLoad(indirectRef(RootPtr, TypeKind::Int));
+    B.emitStore(directRef(Cur), Operand::temp(TR2));
+    unsigned TVal2 = B.emitLoad(indirectRef(Cur, TypeKind::Int, 0));
+    accumulate(B, Acc, TVal2);
+  }
+  endLoop(B, L);
+  emitChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// bzip2 — block sorting flavour: bucket counting over a block with a
+// work pointer that the compiler must assume can alias the bucket base
+// scalar. Direct references dominate.
+//===----------------------------------------------------------------------===//
+
+void buildBzip2(Module &M, uint64_t Scale) {
+  const int64_t N = static_cast<int64_t>(2500 * Scale);
+  Symbol *Block = M.createGlobal("block", TypeKind::Int, 512);
+  Symbol *Buckets = M.createGlobal("buckets", TypeKind::Int, 16);
+  Symbol *Limit = M.createGlobal("limit", TypeKind::Int);
+  Symbol *WorkPtr = M.createGlobal("work_ptr", TypeKind::Int);
+  Symbol *Spare = M.createGlobal("spare", TypeKind::Int, 2);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *J = M.createGlobal("j", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  LoopCtx Fill = beginLoop(B, J, Operand::constInt(512));
+  {
+    unsigned TV = B.emitAssign(Opcode::Mul, Operand::temp(Fill.IdxTemp),
+                               Operand::constInt(131));
+    unsigned TM = B.emitAssign(Opcode::And, Operand::temp(TV),
+                               Operand::constInt(511));
+    B.emitStore(arrayRef(Block, Operand::temp(Fill.IdxTemp)),
+                Operand::temp(TM));
+  }
+  endLoop(B, Fill);
+  seedPointer(B, WorkPtr, Spare, Limit, Zero);
+  B.emitStore(directRef(Limit), Operand::constInt(511));
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(N));
+  {
+    unsigned TI = L.IdxTemp;
+    // limit is re-read around the *work_ptr store: the promotable direct
+    // scalar of this workload.
+    unsigned TLim = B.emitLoad(directRef(Limit));
+    unsigned TIdx = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::temp(TLim));
+    unsigned TV = B.emitLoad(arrayRef(Block, Operand::temp(TIdx)));
+    B.emitStore(indirectRef(WorkPtr, TypeKind::Int), Operand::temp(TV));
+    B.emitStore(indirectRef(WorkPtr, TypeKind::Int, 8),
+                Operand::temp(TIdx));
+    unsigned TLim2 = B.emitLoad(directRef(Limit));
+    unsigned TB = B.emitAssign(Opcode::And, Operand::temp(TV),
+                               Operand::constInt(15));
+    unsigned TOld = B.emitLoad(arrayRef(Buckets, Operand::temp(TB)));
+    unsigned TNew = B.emitAssign(Opcode::Add, Operand::temp(TOld),
+                                 Operand::constInt(1));
+    B.emitStore(arrayRef(Buckets, Operand::temp(TB)), Operand::temp(TNew));
+    accumulate(B, Acc, TLim2);
+  }
+  endLoop(B, L);
+  // Fold the buckets into the checksum.
+  LoopCtx Fold = beginLoop(B, J, Operand::constInt(16));
+  {
+    unsigned TV = B.emitLoad(arrayRef(Buckets, Operand::temp(Fold.IdxTemp)));
+    accumulate(B, Acc, TV);
+  }
+  endLoop(B, Fold);
+  emitChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// twolf — simulated annealing flavour: cell records on the heap; a
+// repeatedly read best-cost cell versus swap updates through an
+// ambiguous pointer; occasional genuine improvement writes (1/32).
+//===----------------------------------------------------------------------===//
+
+void buildTwolf(Module &M, uint64_t Scale) {
+  const int64_t Moves = static_cast<int64_t>(2200 * Scale);
+  // Annealing costs are floating point, which also makes the forwarding
+  // against the occasional accept-path store clearly profitable (a saved
+  // FP load is 9 cycles).
+  Symbol *BestCost = M.createGlobal("best_cost", TypeKind::Float);
+  Symbol *TrialCost = M.createGlobal("trial_cost", TypeKind::Float, 2);
+  Symbol *BestPtr = M.createGlobal("best_ptr", TypeKind::Int);
+  Symbol *TrialPtr = M.createGlobal("trial_ptr", TypeKind::Int);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Float);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  seedPointer(B, BestPtr, BestCost, TrialCost, Zero);
+  seedPointer(B, TrialPtr, TrialCost, BestCost, Zero);
+  B.emitStore(directRef(BestCost), Operand::constFloat(1000000.0));
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Moves));
+  {
+    unsigned TI = L.IdxTemp;
+    // best = *best_ptr (promotable FP load)
+    unsigned TBest = B.emitLoad(indirectRef(BestPtr, TypeKind::Float));
+    unsigned TTrial = B.emitAssign(Opcode::Mul, Operand::temp(TI),
+                                   Operand::constInt(97));
+    unsigned TTrialM = B.emitAssign(Opcode::And, Operand::temp(TTrial),
+                                    Operand::constInt(1048575));
+    unsigned TTrialF = B.emitAssign(Opcode::IntToFp,
+                                    Operand::temp(TTrialM));
+    // Two trial-state updates through the ambiguous pointer.
+    B.emitStore(indirectRef(TrialPtr, TypeKind::Float),
+                Operand::temp(TTrialF));
+    B.emitStore(indirectRef(TrialPtr, TypeKind::Float, 8),
+                Operand::temp(TBest));
+    // best2 = *best_ptr  (reuse); accept better trials 1/32 of the time
+    // via a direct store to best_cost (a real kill, forwarded by the
+    // software check in both the baseline and the ALAT build).
+    unsigned TBest2 = B.emitLoad(indirectRef(BestPtr, TypeKind::Float));
+    BasicBlock *Accept = B.createBlock("accept");
+    BasicBlock *Reject = B.createBlock("reject");
+    unsigned TRem = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(31));
+    unsigned TLess = B.emitAssign(Opcode::FCmpLt, Operand::temp(TTrialF),
+                                  Operand::temp(TBest2));
+    unsigned TGate = B.emitAssign(Opcode::CmpEq, Operand::temp(TRem),
+                                  Operand::constInt(0));
+    unsigned TBoth = B.emitAssign(Opcode::And, Operand::temp(TLess),
+                                  Operand::temp(TGate));
+    B.setCondBr(Operand::temp(TBoth), Accept, Reject);
+    B.setBlock(Accept);
+    B.emitStore(directRef(BestCost), Operand::temp(TTrialF));
+    B.setBr(Reject);
+    B.setBlock(Reject);
+    unsigned TBest3 = B.emitLoad(indirectRef(BestPtr, TypeKind::Float));
+    unsigned TAcc = B.emitLoad(directRef(Acc));
+    unsigned TSum = B.emitAssign(Opcode::FAdd, Operand::temp(TAcc),
+                                 Operand::temp(TBest3));
+    B.emitStore(directRef(Acc), Operand::temp(TSum));
+  }
+  endLoop(B, L);
+  unsigned T = B.emitLoad(directRef(Acc));
+  unsigned TI2 = B.emitAssign(Opcode::FpToInt, Operand::temp(T));
+  B.emitPrint(Operand::temp(TI2));
+  B.setRet(Operand::temp(TI2));
+}
+
+//===----------------------------------------------------------------------===//
+// vortex — object database flavour: fixed-layout records on the heap,
+// field reads through record pointers, and a transaction helper call in
+// the cold path (calls are promotion barriers, so the hot path must
+// carry the speculation).
+//===----------------------------------------------------------------------===//
+
+void buildVortex(Module &M, uint64_t Scale) {
+  const int64_t Txns = static_cast<int64_t>(1800 * Scale);
+  Symbol *DbSize = M.createGlobal("db_size", TypeKind::Int);
+  Symbol *RecPtr = M.createGlobal("rec_ptr", TypeKind::Int);
+  Symbol *IdxPtr = M.createGlobal("idx_ptr", TypeKind::Int);
+  Symbol *IdxCell = M.createGlobal("idx_cell", TypeKind::Int, 2);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  // Helper: commit(n) bumps db_size (clobbers globals at the call site).
+  Function *Commit = B.startFunction("commit");
+  Symbol *NArg = M.createLocal(Commit, "n", TypeKind::Int, 1,
+                               /*IsFormal=*/true);
+  {
+    unsigned TN = B.emitLoad(directRef(NArg));
+    unsigned TS = B.emitLoad(directRef(DbSize));
+    unsigned TSum = B.emitAssign(Opcode::Add, Operand::temp(TS),
+                                 Operand::temp(TN));
+    B.emitStore(directRef(DbSize), Operand::temp(TSum));
+    B.setRet();
+  }
+
+  B.startFunction("main");
+  unsigned TRec = B.emitAlloc(Operand::constInt(4), "record");
+  B.emitStore(directRef(RecPtr), Operand::temp(TRec));
+  B.emitStore(indirectRef(RecPtr, TypeKind::Int, 0),
+              Operand::constInt(11));
+  B.emitStore(indirectRef(RecPtr, TypeKind::Int, 8),
+              Operand::constInt(23));
+  // The index pointer may statically point into the record (decoy), so
+  // stores through it carry speculative χs on the record fields.
+  {
+    BasicBlock *DecoyBB = B.createBlock("idx_ptr.decoy");
+    BasicBlock *Join = B.createBlock("idx_ptr.seeded");
+    unsigned TZ = B.emitLoad(directRef(Zero));
+    B.setCondBr(Operand::temp(TZ), DecoyBB, Join);
+    B.setBlock(DecoyBB);
+    B.emitStore(directRef(IdxPtr), Operand::temp(TRec));
+    B.setBr(Join);
+    B.setBlock(Join);
+    unsigned TIC = B.emitAddrOf(IdxCell);
+    B.emitStore(directRef(IdxPtr), Operand::temp(TIC));
+  }
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Txns));
+  {
+    unsigned TI = L.IdxTemp;
+    // f0 = rec->field0 (promotable across *idx_ptr stores)
+    unsigned TF0 = B.emitLoad(indirectRef(RecPtr, TypeKind::Int, 0));
+    B.emitStore(indirectRef(IdxPtr, TypeKind::Int), Operand::temp(TI));
+    B.emitStore(indirectRef(IdxPtr, TypeKind::Int, 8),
+                Operand::temp(TF0));
+    unsigned TF0b = B.emitLoad(indirectRef(RecPtr, TypeKind::Int, 0));
+    unsigned TF1 = B.emitLoad(indirectRef(RecPtr, TypeKind::Int, 8));
+    unsigned TMix = B.emitAssign(Opcode::Add, Operand::temp(TF0b),
+                                 Operand::temp(TF1));
+    accumulate(B, Acc, TMix);
+    (void)TF0;
+    // Commit every 64th transaction (cold call; promotion barrier).
+    BasicBlock *Cold = B.createBlock("cold");
+    BasicBlock *Hot = B.createBlock("hot");
+    unsigned TRem = B.emitAssign(Opcode::And, Operand::temp(TI),
+                                 Operand::constInt(63));
+    unsigned TDo = B.emitAssign(Opcode::CmpEq, Operand::temp(TRem),
+                                Operand::constInt(0));
+    B.setCondBr(Operand::temp(TDo), Cold, Hot);
+    B.setBlock(Cold);
+    B.emitCall(Commit, {Operand::constInt(1)});
+    B.setBr(Hot);
+    B.setBlock(Hot);
+  }
+  endLoop(B, L);
+  unsigned TSize = B.emitLoad(directRef(DbSize));
+  accumulate(B, Acc, TSize);
+  emitChecksum(B, Acc);
+}
+
+//===----------------------------------------------------------------------===//
+// vpr — placement flavour: a cost grid with bounding-box scans; the grid
+// dimension scalar is re-read around net writes through an ambiguous
+// pointer. Mostly direct loads.
+//===----------------------------------------------------------------------===//
+
+void buildVpr(Module &M, uint64_t Scale) {
+  const int64_t Nets = static_cast<int64_t>(2000 * Scale);
+  Symbol *Grid = M.createGlobal("grid", TypeKind::Int, 128);
+  Symbol *Dim = M.createGlobal("dim", TypeKind::Int);
+  Symbol *NetPtr = M.createGlobal("net_ptr", TypeKind::Int);
+  Symbol *NetCell = M.createGlobal("net_cell", TypeKind::Int, 2);
+  Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+
+  IRBuilder B(M);
+  B.startFunction("main");
+  B.emitStore(directRef(Dim), Operand::constInt(127));
+  seedPointer(B, NetPtr, NetCell, Dim, Zero);
+
+  LoopCtx L = beginLoop(B, I, Operand::constInt(Nets));
+  {
+    unsigned TI = L.IdxTemp;
+    unsigned TDim = B.emitLoad(directRef(Dim)); // promotable
+    unsigned TX = B.emitAssign(Opcode::And, Operand::temp(TI),
+                               Operand::temp(TDim));
+    unsigned TCell = B.emitLoad(arrayRef(Grid, Operand::temp(TX)));
+    unsigned TNew = B.emitAssign(Opcode::Add, Operand::temp(TCell),
+                                 Operand::constInt(1));
+    B.emitStore(arrayRef(Grid, Operand::temp(TX)), Operand::temp(TNew));
+    B.emitStore(indirectRef(NetPtr, TypeKind::Int), Operand::temp(TNew));
+    B.emitStore(indirectRef(NetPtr, TypeKind::Int, 8),
+                Operand::temp(TX));
+    unsigned TDim2 = B.emitLoad(directRef(Dim)); // speculative reuse
+    accumulate(B, Acc, TDim2);
+  }
+  endLoop(B, L);
+  emitChecksum(B, Acc);
+}
+
+Workload makeWorkload(const char *Name,
+                      void (*Build)(Module &, uint64_t), bool Fp,
+                      uint64_t TrainScale = 1, uint64_t RefScale = 4) {
+  Workload W;
+  W.Name = Name;
+  W.Build = Build;
+  W.FloatingPoint = Fp;
+  W.TrainScale = TrainScale;
+  W.RefScale = RefScale;
+  return W;
+}
+
+} // namespace
+
+core::Workload srp::workloads::gzipWorkload() {
+  return makeWorkload("gzip", buildGzip, false);
+}
+core::Workload srp::workloads::mcfWorkload() {
+  return makeWorkload("mcf", buildMcf, false);
+}
+core::Workload srp::workloads::parserWorkload() {
+  return makeWorkload("parser", buildParser, false);
+}
+core::Workload srp::workloads::bzip2Workload() {
+  return makeWorkload("bzip2", buildBzip2, false);
+}
+core::Workload srp::workloads::twolfWorkload() {
+  return makeWorkload("twolf", buildTwolf, false);
+}
+core::Workload srp::workloads::vortexWorkload() {
+  return makeWorkload("vortex", buildVortex, false);
+}
+core::Workload srp::workloads::vprWorkload() {
+  return makeWorkload("vpr", buildVpr, false);
+}

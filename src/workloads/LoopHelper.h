@@ -1,0 +1,65 @@
+//===- LoopHelper.h - Counted-loop construction helper ----------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny structured-loop helper for the workload builders. Loop counters
+/// live in memory symbols (the IR keeps temps single-assignment), so each
+/// loop needs a header that reloads the counter; this wraps that pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_WORKLOADS_LOOPHELPER_H
+#define SRP_WORKLOADS_LOOPHELPER_H
+
+#include "ir/IRBuilder.h"
+
+namespace srp::workloads {
+
+/// An open counted loop; the builder is positioned inside the body after
+/// beginLoop and after the loop exit after endLoop.
+struct LoopCtx {
+  ir::BasicBlock *Hdr = nullptr;
+  ir::BasicBlock *Body = nullptr;
+  ir::BasicBlock *Exit = nullptr;
+  ir::Symbol *IVar = nullptr;
+  unsigned IdxTemp = ir::NoTemp; ///< The counter's value in the body.
+};
+
+/// Emits `for (IVar = Init; IVar < Bound; IVar += Step)` up to the body.
+inline LoopCtx beginLoop(ir::IRBuilder &B, ir::Symbol *IVar,
+                         ir::Operand Bound, int64_t Init = 0) {
+  using namespace ir;
+  LoopCtx L;
+  L.IVar = IVar;
+  L.Hdr = B.createBlock(IVar->Name + ".hdr");
+  L.Body = B.createBlock(IVar->Name + ".body");
+  L.Exit = B.createBlock(IVar->Name + ".exit");
+  B.emitStore(directRef(IVar), Operand::constInt(Init));
+  B.setBr(L.Hdr);
+  B.setBlock(L.Hdr);
+  unsigned TI = B.emitLoad(directRef(IVar));
+  unsigned TC = B.emitAssign(Opcode::CmpLt, Operand::temp(TI), Bound);
+  B.setCondBr(Operand::temp(TC), L.Body, L.Exit);
+  B.setBlock(L.Body);
+  L.IdxTemp = B.emitLoad(directRef(IVar));
+  return L;
+}
+
+/// Closes the loop (increments the counter, branches back) and positions
+/// the builder at the exit block.
+inline void endLoop(ir::IRBuilder &B, const LoopCtx &L, int64_t Step = 1) {
+  using namespace ir;
+  unsigned TI = B.emitLoad(directRef(L.IVar));
+  unsigned TN = B.emitAssign(Opcode::Add, Operand::temp(TI),
+                             Operand::constInt(Step));
+  B.emitStore(directRef(L.IVar), Operand::temp(TN));
+  B.setBr(L.Hdr);
+  B.setBlock(L.Exit);
+}
+
+} // namespace srp::workloads
+
+#endif // SRP_WORKLOADS_LOOPHELPER_H

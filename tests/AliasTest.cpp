@@ -1,0 +1,285 @@
+//===- AliasTest.cpp - Tests for Steensgaard alias analysis ------*- C++ -*-===//
+
+#include "alias/AliasAnalysis.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::alias;
+
+namespace {
+
+bool contains(const std::vector<const Symbol *> &Set, const Symbol *Sym) {
+  return std::find(Set.begin(), Set.end(), Sym) != Set.end();
+}
+
+/// p = &a; *p aliases a, not b.
+TEST(SteensgaardTest, AddrOfCreatesPointsTo) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  Symbol *B2 = M.createGlobal("b", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned T = B.emitAddrOf(A);
+  B.emitStore(directRef(P), Operand::temp(T));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef StarP = indirectRef(P, TypeKind::Int);
+  EXPECT_TRUE(AA.mayAlias(StarP, F, directRef(A), F));
+  EXPECT_FALSE(AA.mayAlias(StarP, F, directRef(B2), F));
+  auto Pointees = AA.mayPointees(StarP, F);
+  EXPECT_TRUE(contains(Pointees, A));
+  EXPECT_FALSE(contains(Pointees, B2));
+}
+
+/// p may point to a or b; Steensgaard unifies both into *p's class.
+TEST(SteensgaardTest, TwoTargetsUnify) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  Symbol *C = M.createGlobal("c", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned TA = B.emitAddrOf(A);
+  unsigned TC = B.emitAddrOf(C);
+  B.emitStore(directRef(P), Operand::temp(TA));
+  B.emitStore(directRef(P), Operand::temp(TC));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  auto Pointees = AA.mayPointees(indirectRef(P, TypeKind::Int), F);
+  EXPECT_TRUE(contains(Pointees, A));
+  EXPECT_TRUE(contains(Pointees, C));
+}
+
+/// Copy propagation: q = p makes *q alias *p's targets.
+TEST(SteensgaardTest, CopyUnifiesPointees) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  Symbol *Q = M.createGlobal("q", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned TA = B.emitAddrOf(A);
+  B.emitStore(directRef(P), Operand::temp(TA));
+  unsigned TP = B.emitLoad(directRef(P));
+  B.emitStore(directRef(Q), Operand::temp(TP));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef StarQ = indirectRef(Q, TypeKind::Int);
+  EXPECT_TRUE(AA.mayAlias(StarQ, F, directRef(A), F));
+  EXPECT_TRUE(
+      AA.mayAlias(StarQ, F, indirectRef(P, TypeKind::Int), F));
+}
+
+/// Pointer arithmetic keeps the points-to class (t = p + 8).
+TEST(SteensgaardTest, PointerArithmeticPreservesTargets) {
+  Module M;
+  Symbol *Arr = M.createGlobal("arr", TypeKind::Int, 8);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned TBase = B.emitAddrOf(Arr);
+  unsigned TAdj = B.emitAssign(Opcode::Add, Operand::temp(TBase),
+                               Operand::constInt(8));
+  B.emitStore(directRef(P), Operand::temp(TAdj));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  EXPECT_TRUE(AA.mayAlias(indirectRef(P, TypeKind::Int), F,
+                          arrayRef(Arr, Operand::constInt(0)), F));
+}
+
+/// Allocation sites name heap objects; distinct sites do not alias.
+TEST(SteensgaardTest, HeapSitesAreDistinct) {
+  Module M;
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  Symbol *Q = M.createGlobal("q", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned T1 = B.emitAlloc(Operand::constInt(4), "site1");
+  unsigned T2 = B.emitAlloc(Operand::constInt(4), "site2");
+  B.emitStore(directRef(P), Operand::temp(T1));
+  B.emitStore(directRef(Q), Operand::temp(T2));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef StarP = indirectRef(P, TypeKind::Int);
+  MemRef StarQ = indirectRef(Q, TypeKind::Int);
+  EXPECT_FALSE(AA.mayAlias(StarP, F, StarQ, F));
+  EXPECT_TRUE(AA.mayAlias(StarP, F, StarP, F));
+}
+
+/// A never-address-taken local cannot be reached through any pointer.
+TEST(SteensgaardTest, UnreachableLocalNeverAliasesIndirect) {
+  Module M;
+  Symbol *G = M.createGlobal("g", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  Symbol *L = M.createLocal(F, "l", TypeKind::Int);
+  unsigned T = B.emitAddrOf(G);
+  B.emitStore(directRef(P), Operand::temp(T));
+  B.emitStore(directRef(L), Operand::constInt(3));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  EXPECT_FALSE(
+      AA.mayAlias(indirectRef(P, TypeKind::Int), F, directRef(L), F));
+}
+
+/// Direct refs with distinct constant indices never alias; symbolic
+/// indices conservatively may.
+TEST(SteensgaardTest, DirectIndexDisambiguation) {
+  Module M;
+  Symbol *Arr = M.createGlobal("arr", TypeKind::Int, 8);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef I2 = arrayRef(Arr, Operand::constInt(2));
+  MemRef I3 = arrayRef(Arr, Operand::constInt(3));
+  MemRef IT = arrayRef(Arr, Operand::temp(0));
+  EXPECT_FALSE(AA.mayAlias(I2, F, I3, F));
+  EXPECT_TRUE(AA.mayAlias(I2, F, I2, F));
+  EXPECT_TRUE(AA.mayAlias(I2, F, IT, F));
+}
+
+/// Arguments flow into formals: callee's *fp sees caller's target.
+TEST(SteensgaardTest, CallArgumentFlow) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  IRBuilder B(M);
+  Function *Callee = B.startFunction("callee");
+  Symbol *FP = M.createLocal(Callee, "fp", TypeKind::Int, 1,
+                             /*IsFormal=*/true);
+  B.emitStore(indirectRef(FP, TypeKind::Int), Operand::constInt(1));
+  B.setRet();
+
+  Function *Main = B.startFunction("main");
+  unsigned T = B.emitAddrOf(A);
+  B.emitCall(Callee, {Operand::temp(T)});
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  EXPECT_TRUE(AA.mayAlias(indirectRef(FP, TypeKind::Int), Callee,
+                          directRef(A), Main));
+}
+
+/// Return values flow back to call results.
+TEST(SteensgaardTest, ReturnValueFlow) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *Callee = B.startFunction("getp");
+  unsigned TA = B.emitAddrOf(A);
+  B.setRet(Operand::temp(TA));
+
+  Function *F = B.startFunction("main");
+  unsigned TR = B.emitCall(Callee, {});
+  B.emitStore(directRef(P), Operand::temp(TR));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  EXPECT_TRUE(
+      AA.mayAlias(indirectRef(P, TypeKind::Int), F, directRef(A), F));
+}
+
+/// Double indirection chains through two dereference levels.
+TEST(SteensgaardTest, DoubleIndirection) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  Symbol *Q = M.createGlobal("q", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  unsigned TA = B.emitAddrOf(A);
+  B.emitStore(directRef(P), Operand::temp(TA));
+  unsigned TP = B.emitAddrOf(P);
+  B.emitStore(directRef(Q), Operand::temp(TP));
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef StarStarQ = doubleIndirectRef(Q, TypeKind::Int);
+  MemRef StarQ = indirectRef(Q, TypeKind::Int);
+  EXPECT_TRUE(AA.mayAlias(StarStarQ, F, directRef(A), F));
+  EXPECT_TRUE(AA.mayAlias(StarQ, F, directRef(P), F));
+  EXPECT_FALSE(AA.mayAlias(StarQ, F, directRef(A), F));
+}
+
+/// A dereference no address ever flowed into has an empty target set and
+/// aliases nothing.
+TEST(SteensgaardTest, DanglingDerefHasNoTargets) {
+  Module M;
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  MemRef StarP = indirectRef(P, TypeKind::Int);
+  EXPECT_TRUE(AA.mayPointees(StarP, F).empty());
+  EXPECT_FALSE(AA.mayAlias(StarP, F, directRef(A), F));
+}
+
+TEST(SteensgaardTest, CallClobberClassification) {
+  Module M;
+  Symbol *G = M.createGlobal("g", TypeKind::Int);
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  Symbol *L = M.createLocal(F, "l", TypeKind::Int);
+  Symbol *LA = M.createLocal(F, "la", TypeKind::Int);
+  B.emitAddrOf(LA);
+  B.setRet();
+  Symbol *H = M.createHeapSite("h", TypeKind::Int);
+
+  SteensgaardAnalysis AA(M);
+  EXPECT_TRUE(AA.isCallClobbered(G));
+  EXPECT_TRUE(AA.isCallClobbered(H));
+  EXPECT_TRUE(AA.isCallClobbered(LA));
+  EXPECT_FALSE(AA.isCallClobbered(L));
+}
+
+/// Locals of another function with no escaping address are filtered from
+/// points-to answers.
+TEST(SteensgaardTest, PointeeFilteringByScope) {
+  Module M;
+  Symbol *P = M.createGlobal("p", TypeKind::Int);
+  IRBuilder B(M);
+  Function *Helper = B.startFunction("helper");
+  Symbol *HL = M.createLocal(Helper, "hl", TypeKind::Int);
+  unsigned T = B.emitAddrOf(HL);
+  B.emitStore(directRef(P), Operand::temp(T));
+  B.setRet();
+  Function *Main = B.startFunction("main");
+  B.setRet();
+
+  SteensgaardAnalysis AA(M);
+  // hl escapes via p (address taken), so it stays visible even in main.
+  auto Pointees = AA.mayPointees(indirectRef(P, TypeKind::Int), Main);
+  EXPECT_TRUE(contains(Pointees, HL));
+}
+
+TEST(SteensgaardTest, LocationClassCountReflectsUnification) {
+  Module M;
+  M.createGlobal("a", TypeKind::Int);
+  M.createGlobal("b", TypeKind::Int);
+  IRBuilder B(M);
+  B.startFunction("main");
+  B.setRet();
+  SteensgaardAnalysis AA(M);
+  // No pointers: every symbol is its own class.
+  EXPECT_EQ(AA.numLocationClasses(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- MIRTest.cpp - Machine IR, lowering and regalloc unit tests -*- C++ -===//
+
+#include "codegen/Lowering.h"
+#include "codegen/MIR.h"
+#include "codegen/RegAlloc.h"
+
+#include "arch/Simulator.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::codegen;
+
+namespace {
+
+TEST(MIRTest, RegisterClassPredicates) {
+  EXPECT_TRUE(isFpReg(FpRegBase));
+  EXPECT_TRUE(isFpReg(RegRetFp));
+  EXPECT_FALSE(isFpReg(RegSP));
+  EXPECT_FALSE(isFpReg(FirstVirtualReg));
+  EXPECT_TRUE(isVirtualReg(FirstVirtualReg));
+  EXPECT_FALSE(isVirtualReg(RegRetInt));
+  EXPECT_FALSE(isVirtualReg(NoReg));
+}
+
+TEST(MIRTest, InstructionPrinting) {
+  MInstr I;
+  I.Op = MOp::Add;
+  I.Rd = 33;
+  I.Rs1 = 34;
+  I.HasImm = true;
+  I.Imm = -8;
+  EXPECT_EQ(minstrToString(I), "add r33 = r34, -8");
+
+  MInstr L;
+  L.Op = MOp::LdCNc;
+  L.Rd = 40;
+  L.Rs1 = 41;
+  L.Imm = 16;
+  EXPECT_EQ(minstrToString(L), "ld8.c.nc r40 = [r41+16]");
+
+  MInstr S;
+  S.Op = MOp::StA;
+  S.Rs1 = RegSP;
+  S.Imm = -8;
+  S.Rs3 = 35;
+  S.Rs2 = 36;
+  EXPECT_EQ(minstrToString(S), "st8.a [r1-8] = r35, alat(r36)");
+
+  MInstr C;
+  C.Op = MOp::ChkA;
+  C.Rs1 = 50;
+  C.Recovery = 3;
+  C.Target = 4;
+  EXPECT_EQ(minstrToString(C), "chk.a.nc r50, recover=b3, resume=b4");
+}
+
+TEST(MIRTest, SourcesEnumeration) {
+  MInstr St;
+  St.Op = MOp::St;
+  St.Rs1 = 10;
+  St.Rs3 = 11;
+  unsigned Srcs[3];
+  unsigned Count;
+  St.sources(Srcs, Count);
+  ASSERT_EQ(Count, 2u);
+  EXPECT_EQ(Srcs[0], 10u);
+  EXPECT_EQ(Srcs[1], 11u);
+
+  MInstr Sel;
+  Sel.Op = MOp::Sel;
+  Sel.Rs1 = 1;
+  Sel.Rs2 = 2;
+  Sel.Rs3 = 3;
+  Sel.sources(Srcs, Count);
+  EXPECT_EQ(Count, 3u);
+
+  MInstr AddImm;
+  AddImm.Op = MOp::Add;
+  AddImm.Rs1 = 5;
+  AddImm.Rs2 = 6;
+  AddImm.HasImm = true;
+  AddImm.sources(Srcs, Count);
+  EXPECT_EQ(Count, 1u) << "immediate form reads only Rs1";
+}
+
+/// Lowering sanity: every block of the lowered module ends with a
+/// terminator, and virtual registers are gone after allocation.
+TEST(MIRTest, LoweringProducesTerminatedBlocks) {
+  Module M;
+  Symbol *A = M.createGlobal("a", TypeKind::Int);
+  IRBuilder B(M);
+  B.startFunction("main");
+  BasicBlock *Then = B.createBlock("then");
+  BasicBlock *Join = B.createBlock("join");
+  unsigned T = B.emitLoad(directRef(A));
+  B.setCondBr(Operand::temp(T), Then, Join);
+  B.setBlock(Then);
+  B.emitStore(directRef(A), Operand::constInt(1));
+  B.setBr(Join);
+  B.setBlock(Join);
+  B.emitPrint(Operand::temp(T));
+  B.setRet();
+  M.function(0)->recomputeCFG();
+
+  auto MM = lowerModule(M);
+  for (unsigned FI = 0; FI < MM->numFunctions(); ++FI) {
+    const MFunction *F = MM->function(FI);
+    for (unsigned BI = 0; BI < F->numBlocks(); ++BI) {
+      const MBlock &BB = F->block(BI);
+      ASSERT_FALSE(BB.Instrs.empty());
+      EXPECT_TRUE(isTerminator(BB.Instrs.back().Op) ||
+                  BB.Instrs.back().Op == MOp::Call)
+          << "block " << BI << " not terminated";
+    }
+  }
+
+  allocateRegisters(*MM);
+  for (unsigned FI = 0; FI < MM->numFunctions(); ++FI) {
+    const MFunction *F = MM->function(FI);
+    for (unsigned BI = 0; BI < F->numBlocks(); ++BI)
+      for (const MInstr &I : F->block(BI).Instrs) {
+        EXPECT_FALSE(isVirtualReg(I.Rd));
+        EXPECT_FALSE(isVirtualReg(I.Rs1));
+        if (!I.HasImm) {
+          EXPECT_FALSE(isVirtualReg(I.Rs2));
+        }
+        EXPECT_FALSE(isVirtualReg(I.Rs3));
+      }
+  }
+}
+
+TEST(MIRTest, FrameOpenPatchedAfterAllocation) {
+  Module M;
+  IRBuilder B(M);
+  Function *F = B.startFunction("main");
+  M.createLocal(F, "x", TypeKind::Int, 10);
+  B.setRet();
+  M.function(0)->recomputeCFG();
+
+  auto MM = lowerModule(M);
+  allocateRegisters(*MM);
+  const MFunction *MF = MM->function(0);
+  // Prologue: save FP, set FP, open frame.
+  const MBlock &Entry = MF->block(0);
+  ASSERT_GE(Entry.Instrs.size(), 3u);
+  const MInstr &Open = Entry.Instrs[2];
+  EXPECT_EQ(Open.Op, MOp::Add);
+  EXPECT_EQ(Open.Rd, RegSP);
+  EXPECT_EQ(Open.Imm, -static_cast<int64_t>(MF->frameSize()));
+  EXPECT_GE(MF->frameSize(), 80u) << "10-element local plus save slot";
+}
+
+/// Loop-carried liveness: a value defined before a loop and used inside
+/// must survive allocation even with heavy pressure.
+TEST(MIRTest, LoopCarriedValueSurvivesTinyPool) {
+  Module M;
+  Symbol *I = M.createGlobal("i", TypeKind::Int);
+  IRBuilder B(M);
+  B.startFunction("main");
+  BasicBlock *Hdr = B.createBlock("hdr");
+  BasicBlock *Body = B.createBlock("body");
+  BasicBlock *Exit = B.createBlock("exit");
+  unsigned TInvariant = B.emitAssign(Opcode::Copy, Operand::constInt(7));
+  B.emitStore(directRef(I), Operand::constInt(0));
+  B.setBr(Hdr);
+  B.setBlock(Hdr);
+  unsigned TI = B.emitLoad(directRef(I));
+  unsigned TC = B.emitAssign(Opcode::CmpLt, Operand::temp(TI),
+                             Operand::constInt(5));
+  B.setCondBr(Operand::temp(TC), Body, Exit);
+  B.setBlock(Body);
+  // Eight simultaneously live temps to exhaust a 5-register pool.
+  std::vector<unsigned> Vals;
+  for (int K = 0; K < 8; ++K)
+    Vals.push_back(B.emitAssign(Opcode::Add, Operand::temp(TI),
+                                Operand::constInt(K * 13)));
+  Operand Acc = Operand::temp(Vals[0]);
+  for (int K = 1; K < 8; ++K) {
+    unsigned T = B.emitAssign(Opcode::Add, Acc, Operand::temp(Vals[K]));
+    Acc = Operand::temp(T);
+  }
+  B.emitPrint(Acc);
+  B.emitPrint(Operand::temp(TInvariant)); // must still be 7
+  unsigned TInc = B.emitAssign(Opcode::Add, Operand::temp(TI),
+                               Operand::constInt(1));
+  B.emitStore(directRef(I), Operand::temp(TInc));
+  B.setBr(Hdr);
+  B.setBlock(Exit);
+  B.setRet();
+  M.function(0)->recomputeCFG();
+
+  interp::Interpreter Ref(M);
+  auto Expected = Ref.run();
+  ASSERT_TRUE(Expected.Ok);
+
+  auto MM = lowerModule(M);
+  RegAllocOptions RA;
+  RA.IntPoolSize = 5;
+  RegAllocStats Stats = allocateRegisters(*MM, RA);
+  EXPECT_GT(Stats.SpilledRegs, 0u) << "the test should force spills";
+  auto Sim = arch::simulate(*MM, arch::SimConfig());
+  ASSERT_TRUE(Sim.Ok) << Sim.Error;
+  EXPECT_EQ(Sim.Output, Expected.Output);
+}
+
+TEST(MIRTest, MaxPressureReported) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main");
+  std::vector<unsigned> Temps;
+  for (int K = 0; K < 6; ++K)
+    Temps.push_back(
+        B.emitAssign(Opcode::Copy, Operand::constInt(K)));
+  Operand Acc = Operand::temp(Temps[0]);
+  for (int K = 1; K < 6; ++K) {
+    unsigned T = B.emitAssign(Opcode::Add, Acc, Operand::temp(Temps[K]));
+    Acc = Operand::temp(T);
+  }
+  B.emitPrint(Acc);
+  B.setRet();
+  M.function(0)->recomputeCFG();
+
+  auto MM = lowerModule(M);
+  RegAllocStats Stats = allocateRegisters(*MM);
+  EXPECT_GE(Stats.MaxIntPressure, 6u);
+  EXPECT_EQ(Stats.SpilledRegs, 0u);
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- RandomProgram.h - Random IR program generator -------------*- C++ -*-===//
+//
+// Part of the srp-alat project (test support).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random program generator for differential testing. The
+/// programs are pointer-heavy by construction: pointer cells are
+/// retargeted at random program points (including under branches), so
+/// alias profiles genuinely diverge from the static points-to sets, and
+/// speculative promotion gets real collisions to survive.
+///
+/// Guarantees: programs terminate (loops have constant trip counts), pass
+/// the verifier (indices are masked, offsets stay in bounds), and print
+/// enough state to make any miscompilation observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_TESTS_RANDOMPROGRAM_H
+#define SRP_TESTS_RANDOMPROGRAM_H
+
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+namespace srp::testing {
+
+class RandomProgramBuilder {
+public:
+  RandomProgramBuilder(ir::Module &M, uint64_t Seed)
+      : M(M), B(M), Rng(Seed) {}
+
+  void build() {
+    using namespace ir;
+    for (int I = 0; I < 4; ++I)
+      IntScalars.push_back(
+          M.createGlobal("g" + std::to_string(I), TypeKind::Int));
+    for (int I = 0; I < 2; ++I)
+      FloatScalars.push_back(
+          M.createGlobal("f" + std::to_string(I), TypeKind::Float));
+    Arr = M.createGlobal("arr", TypeKind::Int, 16);
+    for (int I = 0; I < 3; ++I)
+      Pointers.push_back(
+          M.createGlobal("p" + std::to_string(I), TypeKind::Int));
+
+    // Optional helper function exercising the call barrier.
+    Helper = B.startFunction("helper");
+    Symbol *HArg = M.createLocal(Helper, "x", TypeKind::Int, 1,
+                                 /*IsFormal=*/true);
+    {
+      unsigned TX = B.emitLoad(directRef(HArg));
+      unsigned TG = B.emitLoad(directRef(IntScalars[0]));
+      unsigned TS = B.emitAssign(Opcode::Add, Operand::temp(TX),
+                                 Operand::temp(TG));
+      B.emitStore(directRef(IntScalars[1]), Operand::temp(TS));
+      B.setRet(Operand::temp(TS));
+    }
+
+    B.startFunction("main");
+    // Seed every pointer (so dereferences always land somewhere).
+    for (Symbol *P : Pointers)
+      retargetPointer(P);
+    IntTemps.push_back(B.emitAssign(Opcode::Copy, Operand::constInt(1)));
+    FloatTemps.push_back(
+        B.emitAssign(Opcode::Copy, Operand::constFloat(1.0)));
+
+    genStatements(14 + Rng.nextBelow(10), /*Depth=*/0);
+
+    // Observability tail: print every scalar.
+    for (Symbol *G : IntScalars) {
+      unsigned T = B.emitLoad(directRef(G));
+      B.emitPrint(Operand::temp(T));
+    }
+    for (Symbol *F : FloatScalars) {
+      unsigned T = B.emitLoad(directRef(F));
+      B.emitPrint(Operand::temp(T));
+    }
+    for (int I = 0; I < 16; I += 5) {
+      unsigned T =
+          B.emitLoad(arrayRef(Arr, ir::Operand::constInt(I)));
+      B.emitPrint(Operand::temp(T));
+    }
+    B.setRet();
+  }
+
+private:
+  ir::Operand randomIntOperand() {
+    if (!IntTemps.empty() && Rng.nextBool(0.7))
+      return ir::Operand::temp(
+          IntTemps[Rng.nextBelow(IntTemps.size())]);
+    return ir::Operand::constInt(Rng.nextInRange(-20, 20));
+  }
+
+  ir::Operand randomFloatOperand() {
+    if (!FloatTemps.empty() && Rng.nextBool(0.7))
+      return ir::Operand::temp(
+          FloatTemps[Rng.nextBelow(FloatTemps.size())]);
+    return ir::Operand::constFloat(
+        static_cast<double>(Rng.nextInRange(-8, 8)) * 0.5);
+  }
+
+  /// A random memory reference over the int universe.
+  ir::MemRef randomIntRef() {
+    using namespace ir;
+    switch (Rng.nextBelow(5)) {
+    case 0:
+      return directRef(IntScalars[Rng.nextBelow(IntScalars.size())]);
+    case 1:
+      return arrayRef(Arr, Operand::constInt(Rng.nextBelow(16)));
+    case 2: {
+      // Masked dynamic index.
+      unsigned TIdx = B.emitAssign(Opcode::And, randomIntOperand(),
+                                   Operand::constInt(15));
+      return arrayRef(Arr, Operand::temp(TIdx));
+    }
+    default:
+      return indirectRef(Pointers[Rng.nextBelow(Pointers.size())],
+                         TypeKind::Int);
+    }
+  }
+
+  void retargetPointer(ir::Symbol *P) {
+    using namespace ir;
+    unsigned TAddr;
+    if (Rng.nextBool(0.7)) {
+      TAddr =
+          B.emitAddrOf(IntScalars[Rng.nextBelow(IntScalars.size())]);
+    } else {
+      TAddr = B.emitAddrOf(Arr, Operand::constInt(Rng.nextBelow(16)));
+    }
+    B.emitStore(directRef(P), Operand::temp(TAddr));
+  }
+
+  void genStatements(uint64_t Count, unsigned Depth) {
+    for (uint64_t I = 0; I < Count; ++I)
+      genStatement(Depth);
+  }
+
+  void genStatement(unsigned Depth) {
+    using namespace ir;
+    switch (Rng.nextBelow(12)) {
+    case 0: { // int arithmetic
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                   Opcode::And, Opcode::Xor,
+                                   Opcode::CmpLt};
+      IntTemps.push_back(B.emitAssign(Ops[Rng.nextBelow(6)],
+                                      randomIntOperand(),
+                                      randomIntOperand()));
+      break;
+    }
+    case 1: { // float arithmetic
+      static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub,
+                                   Opcode::FMul};
+      FloatTemps.push_back(B.emitAssign(Ops[Rng.nextBelow(3)],
+                                        randomFloatOperand(),
+                                        randomFloatOperand()));
+      break;
+    }
+    case 2: // int load
+    case 3:
+      IntTemps.push_back(B.emitLoad(randomIntRef()));
+      break;
+    case 4: // float scalar traffic
+      if (Rng.nextBool(0.5))
+        FloatTemps.push_back(B.emitLoad(directRef(
+            FloatScalars[Rng.nextBelow(FloatScalars.size())])));
+      else
+        B.emitStore(directRef(FloatScalars[Rng.nextBelow(
+                        FloatScalars.size())]),
+                    randomFloatOperand());
+      break;
+    case 5: // int store
+    case 6:
+      B.emitStore(randomIntRef(), randomIntOperand());
+      break;
+    case 7: // pointer retarget
+      retargetPointer(Pointers[Rng.nextBelow(Pointers.size())]);
+      break;
+    case 8: // call
+      IntTemps.push_back(B.emitCall(Helper, {randomIntOperand()}));
+      break;
+    case 9: { // if
+      if (Depth >= 3) {
+        genStatement(Depth); // too deep: substitute something simple
+        break;
+      }
+      unsigned TCond = B.emitAssign(Opcode::And, randomIntOperand(),
+                                    Operand::constInt(1));
+      BasicBlock *Then = B.createBlock("then" + std::to_string(Counter));
+      BasicBlock *Else = B.createBlock("else" + std::to_string(Counter));
+      BasicBlock *Join = B.createBlock("join" + std::to_string(Counter));
+      ++Counter;
+      B.setCondBr(Operand::temp(TCond), Then, Else);
+      size_t SavedInt = IntTemps.size(), SavedFloat = FloatTemps.size();
+      B.setBlock(Then);
+      genStatements(1 + Rng.nextBelow(4), Depth + 1);
+      B.setBr(Join);
+      // Temps defined inside a branch do not dominate the join.
+      IntTemps.resize(SavedInt);
+      FloatTemps.resize(SavedFloat);
+      B.setBlock(Else);
+      genStatements(1 + Rng.nextBelow(3), Depth + 1);
+      B.setBr(Join);
+      IntTemps.resize(SavedInt);
+      FloatTemps.resize(SavedFloat);
+      B.setBlock(Join);
+      break;
+    }
+    case 10: { // bounded loop
+      if (Depth >= 2) {
+        genStatement(Depth);
+        break;
+      }
+      ir::Symbol *IVar = M.createGlobal(
+          "li" + std::to_string(Counter), TypeKind::Int);
+      BasicBlock *Hdr = B.createBlock("lh" + std::to_string(Counter));
+      BasicBlock *Body = B.createBlock("lb" + std::to_string(Counter));
+      BasicBlock *Exit = B.createBlock("lx" + std::to_string(Counter));
+      ++Counter;
+      int64_t Trips = 3 + static_cast<int64_t>(Rng.nextBelow(6));
+      B.emitStore(directRef(IVar), Operand::constInt(0));
+      B.setBr(Hdr);
+      B.setBlock(Hdr);
+      unsigned TI = B.emitLoad(directRef(IVar));
+      unsigned TC = B.emitAssign(Opcode::CmpLt, Operand::temp(TI),
+                                 Operand::constInt(Trips));
+      B.setCondBr(Operand::temp(TC), Body, Exit);
+      size_t SavedInt = IntTemps.size(), SavedFloat = FloatTemps.size();
+      B.setBlock(Body);
+      IntTemps.push_back(TI);
+      genStatements(2 + Rng.nextBelow(5), Depth + 1);
+      unsigned TI2 = B.emitLoad(directRef(IVar));
+      unsigned TInc = B.emitAssign(Opcode::Add, Operand::temp(TI2),
+                                   Operand::constInt(1));
+      B.emitStore(directRef(IVar), Operand::temp(TInc));
+      B.setBr(Hdr);
+      IntTemps.resize(SavedInt);
+      FloatTemps.resize(SavedFloat);
+      B.setBlock(Exit);
+      break;
+    }
+    default: // print something
+      if (Rng.nextBool(0.5) && !IntTemps.empty())
+        B.emitPrint(
+            Operand::temp(IntTemps[Rng.nextBelow(IntTemps.size())]));
+      else if (!FloatTemps.empty())
+        B.emitPrint(Operand::temp(
+            FloatTemps[Rng.nextBelow(FloatTemps.size())]));
+      break;
+    }
+  }
+
+  ir::Module &M;
+  ir::IRBuilder B;
+  RNG Rng;
+  std::vector<ir::Symbol *> IntScalars, FloatScalars, Pointers;
+  ir::Symbol *Arr = nullptr;
+  ir::Function *Helper = nullptr;
+  std::vector<unsigned> IntTemps, FloatTemps;
+  unsigned Counter = 0;
+};
+
+/// Builds a random, terminating, verifier-clean program from \p Seed.
+inline void buildRandomProgram(ir::Module &M, uint64_t Seed) {
+  RandomProgramBuilder(M, Seed).build();
+}
+
+} // namespace srp::testing
+
+#endif // SRP_TESTS_RANDOMPROGRAM_H

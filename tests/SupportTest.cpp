@@ -1,0 +1,139 @@
+//===- SupportTest.cpp - Tests for the support library ----------*- C++ -*-===//
+
+#include "support/OStream.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace srp;
+
+namespace {
+
+TEST(OStreamTest, WritesScalars) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS << "x=" << 42 << ' ' << -7 << ' ' << 3.5 << ' ' << true;
+  EXPECT_EQ(Buffer, "x=42 -7 3.5 true");
+}
+
+TEST(OStreamTest, WritesUnsignedAndHex) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS << uint64_t(18446744073709551615ULL) << ' ';
+  OS.writeHex(0xdeadbeef);
+  EXPECT_EQ(Buffer, "18446744073709551615 0xdeadbeef");
+}
+
+TEST(OStreamTest, Justification) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS.leftJustify("ab", 5);
+  OS << '|';
+  OS.rightJustify("cd", 4);
+  EXPECT_EQ(Buffer, "ab   |  cd");
+}
+
+TEST(OStreamTest, JustificationDoesNotTruncate) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS.leftJustify("abcdef", 3);
+  EXPECT_EQ(Buffer, "abcdef");
+}
+
+TEST(OStreamTest, IndentLargeWidth) {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  OS.indent(70);
+  EXPECT_EQ(Buffer, std::string(70, ' '));
+}
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(formatString("%0.2f", 1.5), "1.50");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtilsTest, SplitDropsEmptyPieces) {
+  auto Pieces = splitString("a,,b,c,", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString("abc"), "abc");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(RNGTest, DeterministicAcrossInstances) {
+  RNG A(12345), B(12345);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RNGTest, NextBelowStaysInRange) {
+  RNG R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(V);
+  }
+  // All ten residues should show up in 1000 draws.
+  EXPECT_EQ(Seen.size(), 10u);
+}
+
+TEST(RNGTest, NextInRangeInclusive) {
+  RNG R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNGTest, NextBoolExtremes) {
+  RNG R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RNGTest, NextDoubleUnitInterval) {
+  RNG R(13);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+} // namespace

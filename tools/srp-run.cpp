@@ -1,0 +1,200 @@
+//===- srp-run.cpp - Command-line driver ---------------------------------------===//
+//
+// Compiles a textual IR program (see ir/Parser.h for the grammar) under a
+// chosen promotion strategy and runs it on the ITA simulator, reporting
+// the pfmon-style counters.
+//
+//   srp-run [options] program.sir
+//     --strategy=conservative|baseline|alat   (default alat)
+//     --cascade          enable chk.a address speculation
+//     --sta              enable the st.a extension (§2.5)
+//     --no-profile       skip the alias-profile training run
+//     --print-ir         print the promoted IR
+//     --print-asm        print the ITA assembly
+//     --alat-entries=N   ALAT geometry overrides
+//     --alat-tag-bits=N
+//
+// The program is first run on the interpreter to collect the alias and
+// edge profiles (the "train" run) and as the correctness oracle; srp-run
+// exits non-zero if the simulated output diverges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/AliasAnalysis.h"
+#include "arch/Simulator.h"
+#include "codegen/Lowering.h"
+#include "codegen/RegAlloc.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pre/Promoter.h"
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace srp;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  pre::PromotionConfig Promotion = pre::PromotionConfig::alat();
+  bool UseProfile = true;
+  bool PrintIR = false;
+  bool PrintAsm = false;
+  arch::SimConfig Sim;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--strategy=conservative")
+      Opts.Promotion = pre::PromotionConfig::conservative();
+    else if (Arg == "--strategy=baseline")
+      Opts.Promotion = pre::PromotionConfig::baselineO3();
+    else if (Arg == "--strategy=alat")
+      Opts.Promotion = pre::PromotionConfig::alat();
+    else if (Arg == "--cascade")
+      Opts.Promotion.EnableCascade = true;
+    else if (Arg == "--sta") {
+      Opts.Promotion.UseStA = true;
+      Opts.Sim.UseStA = true;
+    } else if (Arg == "--no-profile")
+      Opts.UseProfile = false;
+    else if (Arg == "--print-ir")
+      Opts.PrintIR = true;
+    else if (Arg == "--print-asm")
+      Opts.PrintAsm = true;
+    else if (startsWith(Arg, "--alat-entries="))
+      Opts.Sim.Alat.Entries =
+          static_cast<unsigned>(std::atoi(Arg.data() + 15));
+    else if (startsWith(Arg, "--alat-tag-bits="))
+      Opts.Sim.Alat.PartialTagBits =
+          static_cast<unsigned>(std::atoi(Arg.data() + 16));
+    else if (!startsWith(Arg, "--") && Opts.InputPath.empty())
+      Opts.InputPath = Arg;
+    else {
+      errs() << "unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty()) {
+    errs() << "usage: srp-run [options] program.sir (see file header)\n";
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Out.append(Buffer, N);
+  std::fclose(File);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+
+  std::string Text;
+  if (!readFile(Opts.InputPath, Text)) {
+    errs() << "cannot read '" << Opts.InputPath << "'\n";
+    return 2;
+  }
+  ir::Module M;
+  std::string Error;
+  if (!ir::parseModule(Text, M, Error)) {
+    errs() << Opts.InputPath << ": " << Error << '\n';
+    return 2;
+  }
+  std::vector<std::string> Errors = ir::verifyModule(M);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      errs() << Opts.InputPath << ": " << E << '\n';
+    return 2;
+  }
+
+  // Train + oracle run.
+  interp::AliasProfile AP;
+  interp::EdgeProfile EP;
+  interp::Interpreter Train(M);
+  Train.setAliasProfile(&AP);
+  Train.setEdgeProfile(&EP);
+  interp::RunResult Oracle = Train.run();
+  if (!Oracle.Ok) {
+    errs() << "interpreter failed: " << Oracle.Error << '\n';
+    return 1;
+  }
+
+  alias::SteensgaardAnalysis AA(M);
+  pre::PromotionStats Stats = pre::promoteModule(
+      M, AA, Opts.UseProfile ? &AP : nullptr, &EP, Opts.Promotion);
+  Errors = ir::verifyModule(M);
+  if (!Errors.empty()) {
+    errs() << "internal error: promoted module fails verification: "
+           << Errors[0] << '\n';
+    return 1;
+  }
+  if (Opts.PrintIR) {
+    outs() << "--- promoted IR ---\n";
+    ir::printModule(M, outs());
+  }
+
+  auto MM = codegen::lowerModule(M);
+  codegen::allocateRegisters(*MM);
+  if (Opts.PrintAsm) {
+    outs() << "--- ITA assembly ---\n";
+    codegen::printMModule(*MM, outs());
+  }
+
+  arch::SimResult Sim = arch::simulate(*MM, Opts.Sim);
+  if (!Sim.Ok) {
+    errs() << "simulation failed: " << Sim.Error << '\n';
+    return 1;
+  }
+  for (const std::string &Line : Sim.Output)
+    outs() << Line << '\n';
+  if (Sim.Output != Oracle.Output) {
+    errs() << "MISCOMPILE: simulated output diverges from the "
+              "interpreter\n";
+    return 1;
+  }
+
+  const arch::PerfCounters &C = Sim.Counters;
+  errs() << "---\n";
+  errs() << formatString(
+      "cycles %llu, instructions %llu, loads %llu, stores %llu\n",
+      (unsigned long long)C.Cycles, (unsigned long long)C.Instructions,
+      (unsigned long long)C.RetiredLoads,
+      (unsigned long long)C.RetiredStores);
+  errs() << formatString(
+      "data-access stall cycles %llu, taken branches %llu, RSE cycles "
+      "%llu\n",
+      (unsigned long long)C.DataAccessCycles,
+      (unsigned long long)C.TakenBranches,
+      (unsigned long long)C.RseCycles);
+  errs() << formatString(
+      "ALAT checks %llu (failed %llu), chk.a recoveries %llu\n",
+      (unsigned long long)C.AlatChecks,
+      (unsigned long long)C.AlatCheckFailures,
+      (unsigned long long)C.ChkARecoveries);
+  errs() << formatString(
+      "promotion: %u exprs, %u loads removed (%u direct / %u indirect), "
+      "%u checks, %u software pairs\n",
+      Stats.PromotedExprs, Stats.loadsRemoved(), Stats.LoadsRemovedDirect,
+      Stats.LoadsRemovedIndirect,
+      Stats.ChecksInserted + Stats.CascadeChecks, Stats.SoftwareChecks);
+  return 0;
+}
