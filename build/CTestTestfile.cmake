@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/support")
+subdirs("src/ir")
+subdirs("src/alias")
+subdirs("src/interp")
+subdirs("src/ssa")
+subdirs("src/pre")
+subdirs("src/codegen")
+subdirs("src/arch")
+subdirs("src/core")
+subdirs("src/workloads")
+subdirs("tools")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

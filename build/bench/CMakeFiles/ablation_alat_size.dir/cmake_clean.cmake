@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alat_size.dir/ablation_alat_size.cpp.o"
+  "CMakeFiles/ablation_alat_size.dir/ablation_alat_size.cpp.o.d"
+  "ablation_alat_size"
+  "ablation_alat_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alat_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alias.dir/ablation_alias.cpp.o"
+  "CMakeFiles/ablation_alias.dir/ablation_alias.cpp.o.d"
+  "ablation_alias"
+  "ablation_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sta.dir/ablation_sta.cpp.o"
+  "CMakeFiles/ablation_sta.dir/ablation_sta.cpp.o.d"
+  "ablation_sta"
+  "ablation_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

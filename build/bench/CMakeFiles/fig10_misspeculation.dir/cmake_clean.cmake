@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_misspeculation.dir/fig10_misspeculation.cpp.o"
+  "CMakeFiles/fig10_misspeculation.dir/fig10_misspeculation.cpp.o.d"
+  "fig10_misspeculation"
+  "fig10_misspeculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_misspeculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rse.dir/fig11_rse.cpp.o"
+  "CMakeFiles/fig11_rse.dir/fig11_rse.cpp.o.d"
+  "fig11_rse"
+  "fig11_rse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_alat.dir/micro_alat.cpp.o"
+  "CMakeFiles/micro_alat.dir/micro_alat.cpp.o.d"
+  "micro_alat"
+  "micro_alat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

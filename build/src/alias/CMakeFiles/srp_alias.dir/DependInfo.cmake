@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alias/AliasAnalysis.cpp" "src/alias/CMakeFiles/srp_alias.dir/AliasAnalysis.cpp.o" "gcc" "src/alias/CMakeFiles/srp_alias.dir/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/alias/Andersen.cpp" "src/alias/CMakeFiles/srp_alias.dir/Andersen.cpp.o" "gcc" "src/alias/CMakeFiles/srp_alias.dir/Andersen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/srp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_alias.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/srp_alias.dir/AliasAnalysis.cpp.o.d"
+  "CMakeFiles/srp_alias.dir/Andersen.cpp.o"
+  "CMakeFiles/srp_alias.dir/Andersen.cpp.o.d"
+  "libsrp_alias.a"
+  "libsrp_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

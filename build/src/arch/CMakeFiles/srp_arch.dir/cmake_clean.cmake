@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_arch.dir/Alat.cpp.o"
+  "CMakeFiles/srp_arch.dir/Alat.cpp.o.d"
+  "CMakeFiles/srp_arch.dir/Caches.cpp.o"
+  "CMakeFiles/srp_arch.dir/Caches.cpp.o.d"
+  "CMakeFiles/srp_arch.dir/Simulator.cpp.o"
+  "CMakeFiles/srp_arch.dir/Simulator.cpp.o.d"
+  "libsrp_arch.a"
+  "libsrp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

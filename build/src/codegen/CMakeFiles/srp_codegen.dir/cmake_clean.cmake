@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_codegen.dir/Lowering.cpp.o"
+  "CMakeFiles/srp_codegen.dir/Lowering.cpp.o.d"
+  "CMakeFiles/srp_codegen.dir/MIR.cpp.o"
+  "CMakeFiles/srp_codegen.dir/MIR.cpp.o.d"
+  "CMakeFiles/srp_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/srp_codegen.dir/RegAlloc.cpp.o.d"
+  "libsrp_codegen.a"
+  "libsrp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

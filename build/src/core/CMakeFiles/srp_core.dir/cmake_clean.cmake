@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/srp_core.dir/Pipeline.cpp.o.d"
+  "libsrp_core.a"
+  "libsrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/srp_interp.dir/Interpreter.cpp.o.d"
+  "libsrp_interp.a"
+  "libsrp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

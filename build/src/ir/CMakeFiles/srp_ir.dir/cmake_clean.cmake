@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ir.dir/CFG.cpp.o"
+  "CMakeFiles/srp_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/Parser.cpp.o"
+  "CMakeFiles/srp_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/srp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/Type.cpp.o"
+  "CMakeFiles/srp_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/srp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/srp_ir.dir/Verifier.cpp.o.d"
+  "libsrp_ir.a"
+  "libsrp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_pre.dir/CopyProp.cpp.o"
+  "CMakeFiles/srp_pre.dir/CopyProp.cpp.o.d"
+  "CMakeFiles/srp_pre.dir/Promoter.cpp.o"
+  "CMakeFiles/srp_pre.dir/Promoter.cpp.o.d"
+  "libsrp_pre.a"
+  "libsrp_pre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ssa.dir/Dominators.cpp.o"
+  "CMakeFiles/srp_ssa.dir/Dominators.cpp.o.d"
+  "CMakeFiles/srp_ssa.dir/HSSA.cpp.o"
+  "CMakeFiles/srp_ssa.dir/HSSA.cpp.o.d"
+  "libsrp_ssa.a"
+  "libsrp_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_support.dir/Error.cpp.o"
+  "CMakeFiles/srp_support.dir/Error.cpp.o.d"
+  "CMakeFiles/srp_support.dir/OStream.cpp.o"
+  "CMakeFiles/srp_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/srp_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/srp_support.dir/StringUtils.cpp.o.d"
+  "libsrp_support.a"
+  "libsrp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_workloads.dir/FpWorkloads.cpp.o"
+  "CMakeFiles/srp_workloads.dir/FpWorkloads.cpp.o.d"
+  "CMakeFiles/srp_workloads.dir/IntWorkloads.cpp.o"
+  "CMakeFiles/srp_workloads.dir/IntWorkloads.cpp.o.d"
+  "libsrp_workloads.a"
+  "libsrp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

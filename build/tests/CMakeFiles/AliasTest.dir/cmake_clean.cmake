@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AliasTest"
+  "AliasTest.pdb"
+  "CMakeFiles/AliasTest.dir/AliasTest.cpp.o"
+  "CMakeFiles/AliasTest.dir/AliasTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AliasTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

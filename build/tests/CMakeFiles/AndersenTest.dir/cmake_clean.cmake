@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AndersenTest"
+  "AndersenTest.pdb"
+  "CMakeFiles/AndersenTest.dir/AndersenTest.cpp.o"
+  "CMakeFiles/AndersenTest.dir/AndersenTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AndersenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CopyPropTest.dir/CopyPropTest.cpp.o"
+  "CMakeFiles/CopyPropTest.dir/CopyPropTest.cpp.o.d"
+  "CopyPropTest"
+  "CopyPropTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CopyPropTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

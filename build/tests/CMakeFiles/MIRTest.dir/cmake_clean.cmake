@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MIRTest.dir/MIRTest.cpp.o"
+  "CMakeFiles/MIRTest.dir/MIRTest.cpp.o.d"
+  "MIRTest"
+  "MIRTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MIRTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParserTest.dir/ParserTest.cpp.o"
+  "CMakeFiles/ParserTest.dir/ParserTest.cpp.o.d"
+  "ParserTest"
+  "ParserTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParserTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

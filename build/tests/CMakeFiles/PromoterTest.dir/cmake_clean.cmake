@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PromoterTest.dir/PromoterTest.cpp.o"
+  "CMakeFiles/PromoterTest.dir/PromoterTest.cpp.o.d"
+  "PromoterTest"
+  "PromoterTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PromoterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

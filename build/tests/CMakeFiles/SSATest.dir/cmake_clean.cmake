@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SSATest.dir/SSATest.cpp.o"
+  "CMakeFiles/SSATest.dir/SSATest.cpp.o.d"
+  "SSATest"
+  "SSATest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SSATest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

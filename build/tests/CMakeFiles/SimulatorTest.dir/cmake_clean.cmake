@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimulatorTest.dir/SimulatorTest.cpp.o"
+  "CMakeFiles/SimulatorTest.dir/SimulatorTest.cpp.o.d"
+  "SimulatorTest"
+  "SimulatorTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimulatorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/srp-run.cpp" "tools/CMakeFiles/srp-run.dir/srp-run.cpp.o" "gcc" "tools/CMakeFiles/srp-run.dir/srp-run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/srp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pre/CMakeFiles/srp_pre.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/srp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/srp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/srp_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/srp_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/srp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/srp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

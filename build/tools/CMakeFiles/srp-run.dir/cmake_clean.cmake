@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp-run.dir/srp-run.cpp.o"
+  "CMakeFiles/srp-run.dir/srp-run.cpp.o.d"
+  "srp-run"
+  "srp-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
