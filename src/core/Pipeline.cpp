@@ -130,6 +130,21 @@ PipelineResult srp::core::runPipeline(const Workload &W,
     Result.Error = "post-promotion verification failed: " + Errors[0];
     return Result;
   }
+  if (Config.SpecVerify != SpecVerifyMode::Off) {
+    analysis::SpecVerifyConfig SVC;
+    SVC.AlatEntries = Config.Sim.Alat.Entries;
+    SVC.AA = AA.get();
+    Result.SpecDiags = analysis::verifySpeculation(RefModule, SVC);
+    if (Config.SpecVerify == SpecVerifyMode::Fatal &&
+        analysis::hasSpecErrors(Result.SpecDiags)) {
+      for (const analysis::SpecDiag &D : Result.SpecDiags)
+        if (D.Severity == analysis::SpecDiagSeverity::Error) {
+          Result.Error =
+              "speculation verification failed: " + analysis::formatSpecDiag(D);
+          return Result;
+        }
+    }
+  }
 
   // Phase 3: lower, allocate, simulate.
   auto MM = codegen::lowerModule(RefModule);

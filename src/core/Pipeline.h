@@ -18,6 +18,7 @@
 #ifndef SRP_CORE_PIPELINE_H
 #define SRP_CORE_PIPELINE_H
 
+#include "analysis/SpecVerifier.h"
 #include "arch/Simulator.h"
 #include "codegen/RegAlloc.h"
 #include "pre/Promotion.h"
@@ -44,11 +45,19 @@ struct Workload {
   bool FloatingPoint = false; ///< FP-dominated (ammp/art/equake class).
 };
 
+/// How the pipeline treats analysis::SpecVerifier findings on the
+/// promoted IR. Warn collects them in PipelineResult::SpecDiags; Fatal
+/// additionally fails the pipeline on any error-severity finding (tests
+/// run Fatal; benches keep Warn so geometry ablations that provoke the
+/// capacity lint still measure).
+enum class SpecVerifyMode : uint8_t { Off, Warn, Fatal };
+
 /// Everything the pipeline can be configured with.
 struct PipelineConfig {
   pre::PromotionConfig Promotion;
   arch::SimConfig Sim;
   codegen::RegAllocOptions RegAlloc;
+  SpecVerifyMode SpecVerify = SpecVerifyMode::Warn;
   bool UseAliasProfile = true; ///< Feed the train alias profile back.
   bool UseEdgeProfile = true;
   /// Use the inclusion-based Andersen analysis instead of Steensgaard
@@ -67,6 +76,9 @@ struct PipelineResult {
   pre::PromotionStats Promotion;     ///< What the compiler did.
   codegen::RegAllocStats RegAlloc;
   unsigned MaxStackedRegs = 0;       ///< Largest register-stack frame.
+  /// SpecVerifier findings on the promoted IR (empty when SpecVerify is
+  /// Off or the discipline holds).
+  std::vector<analysis::SpecDiag> SpecDiags;
 };
 
 /// Compiles \p W with \p Config and simulates the ref input. The module

@@ -2,6 +2,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/AlatObserver.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -20,8 +21,8 @@ namespace srp::interp {
 class Execution {
 public:
   Execution(const ir::Module &M, AliasProfile *AP, EdgeProfile *EP,
-            uint64_t Fuel)
-      : M(M), AP(AP), EP(EP), FuelLeft(Fuel) {}
+            AlatObserver *AO, uint64_t Fuel)
+      : M(M), AP(AP), EP(EP), AO(AO), FuelLeft(Fuel) {}
 
   RunResult run() {
     RunResult Result;
@@ -88,7 +89,12 @@ private:
   const ir::Module &M;
   AliasProfile *AP;
   EdgeProfile *EP;
+  AlatObserver *AO;
   uint64_t FuelLeft;
+  /// Address of the cell the last chain pointer was loaded from; set by
+  /// computeAccessAddress for indirect references. This is the address an
+  /// advanced load's chain-pointer ALAT entry covers.
+  uint64_t LastChainSlot = 0;
 
   std::unordered_map<uint64_t, uint64_t> Memory; ///< Keyed by Addr >> 3.
   std::map<uint64_t, ObjectInfo> Objects;        ///< Keyed by start address.
@@ -268,6 +274,8 @@ uint64_t Execution::computeAccessAddress(Frame &Fr, const Stmt &S,
     Extra += static_cast<int64_t>(evalOperand(Fr, Ref.Index)) * 8;
   ChainPtr = Addr;
   for (unsigned Level = 1; Level <= Ref.Depth; ++Level) {
+    if (Level == Ref.Depth)
+      LastChainSlot = Addr;
     Addr = read64(Addr);
     ++LoadsExecuted;
     ChainPtr = Addr;
@@ -319,6 +327,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
           S.Flag == SpecFlag::ChkA || S.Flag == SpecFlag::ChkAnc;
       uint64_t Addr;
       uint64_t ChainPtr = 0;
+      uint64_t PtrPre = 0; // Saved pointer register before a chk.a refresh.
       if (S.hasAddrSrc() && !IsChkA) {
         int64_t Extra = S.Ref.Offset;
         if (S.Ref.hasIndex())
@@ -327,14 +336,45 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
                    ? Fr.Temps[S.AddrSrc] + static_cast<uint64_t>(Extra)
                    : Fr.Temps[S.AddrSrc];
       } else {
+        if (IsChkA && S.AddrSrc != NoTemp)
+          PtrPre = Fr.Temps[S.AddrSrc];
         Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
         if (IsChkA && S.AddrSrc != NoTemp)
           Fr.Temps[S.AddrSrc] = ChainPtr;
       }
       if (S.AddrDst != NoTemp)
         Fr.Temps[S.AddrDst] = S.Ref.isIndirect() ? ChainPtr : Addr;
-      Fr.Temps[S.Dst] = read64(Addr);
+      uint64_t RegPre = Fr.Temps[S.Dst];
+      uint64_t Value = read64(Addr);
+      Fr.Temps[S.Dst] = Value;
       ++LoadsExecuted;
+      if (AO && S.Flag != SpecFlag::None) {
+        if (isAdvancedFlag(S.Flag)) {
+          // Lowering allocates the chain-pointer entry first, then the
+          // data entry (accessAddress, then the ld.a itself).
+          if (S.Ref.isIndirect() && S.AddrDst != NoTemp)
+            AO->onAllocate(Fr.F, S.AddrDst, LastChainSlot);
+          AO->onAllocate(Fr.F, S.Dst, Addr);
+        } else if (IsChkA) {
+          // chk.a checks the chain pointer; on a miss its recovery
+          // re-executes both advanced loads, then the continuation
+          // re-checks the data with ld.c.nc (see codegen/Lowering.cpp).
+          bool PtrHit = true;
+          if (S.AddrSrc != NoTemp)
+            PtrHit = AO->onCheck(Fr.F, S.AddrSrc, LastChainSlot,
+                                 /*Clear=*/S.Flag == SpecFlag::ChkA,
+                                 PtrPre, ChainPtr);
+          if (!PtrHit) {
+            AO->onAllocate(Fr.F, S.AddrSrc, LastChainSlot);
+            AO->onAllocate(Fr.F, S.Dst, Addr);
+          }
+          AO->onCheck(Fr.F, S.Dst, Addr, /*Clear=*/false,
+                      PtrHit ? RegPre : Value, Value);
+        } else {
+          AO->onCheck(Fr.F, S.Dst, Addr,
+                      /*Clear=*/S.Flag == SpecFlag::LdC, RegPre, Value);
+        }
+      }
       break;
     }
     case StmtKind::Store: {
@@ -344,6 +384,11 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
         Fr.Temps[S.AddrDst] = Addr; // stores expose the final address
       write64(Addr, evalOperand(Fr, S.A));
       ++StoresExecuted;
+      if (AO) {
+        AO->onStore(Addr);
+        if (S.StA && S.AlatDst != NoTemp)
+          AO->onAllocate(Fr.F, S.AlatDst, Addr);
+      }
       break;
     }
     case StmtKind::AddrOf: {
@@ -378,6 +423,8 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
     }
     case StmtKind::Invala:
       // Architectural hint; no functional effect.
+      if (AO)
+        AO->onInvala(Fr.F, S.Dst);
       break;
     case StmtKind::Print: {
       uint64_t Bits = evalOperand(Fr, S.A);
@@ -450,10 +497,12 @@ bool Execution::callFunction(const Function &F,
     Objects.erase(Addr);
   StackTop = Fr.SavedStackTop;
   --CallDepth;
+  if (AO)
+    AO->onReturn(&F);
   return !Trapped;
 }
 
 RunResult Interpreter::run(uint64_t Fuel) {
-  Execution Exec(M, AP, EP, Fuel);
+  Execution Exec(M, AP, EP, AO, Fuel);
   return Exec.run();
 }

@@ -46,6 +46,8 @@ struct RunResult {
   int64_t ExitValue = 0;            ///< main's return value (0 if void).
 };
 
+class AlatObserver;
+
 /// Direct executor for the IR.
 class Interpreter {
 public:
@@ -57,6 +59,10 @@ public:
   /// Attaches an edge profile to fill during subsequent runs.
   void setEdgeProfile(EdgeProfile *Profile) { EP = Profile; }
 
+  /// Attaches an ALAT observer (see AlatObserver.h) that replays the
+  /// run's speculation against an adversarial hardware model.
+  void setAlatObserver(AlatObserver *Observer) { AO = Observer; }
+
   /// Runs main() with at most \p Fuel statements; resets memory first.
   RunResult run(uint64_t Fuel = 100'000'000);
 
@@ -66,6 +72,7 @@ private:
   const ir::Module &M;
   AliasProfile *AP = nullptr;
   EdgeProfile *EP = nullptr;
+  AlatObserver *AO = nullptr;
 };
 
 } // namespace srp::interp

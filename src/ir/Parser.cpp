@@ -363,6 +363,13 @@ private:
   // Statements
   //===------------------------------------------------------------===//
 
+  /// Appends \p S to the current block, stamping the source line so
+  /// later diagnostics (srp-lint) can point back into the .sir file.
+  void appendStmt(Stmt S) {
+    S.Line = static_cast<unsigned>(LineNo + 1);
+    CurBB->append(std::move(S));
+  }
+
   bool parseStatement(std::string_view L) {
     Cursor C{L};
     if (HasTerm)
@@ -385,7 +392,7 @@ private:
       Stmt S;
       S.Kind = StmtKind::Invala;
       S.Dst = Temp;
-      CurBB->append(std::move(S));
+      appendStmt(std::move(S));
       return true;
     }
     if (startsWith(L, "print ")) {
@@ -394,7 +401,7 @@ private:
       S.Kind = StmtKind::Print;
       if (!parseOperand(PC, S.A))
         return fail("print needs an operand");
-      CurBB->append(std::move(S));
+      appendStmt(std::move(S));
       return true;
     }
     if (startsWith(L, "call "))
@@ -415,7 +422,7 @@ private:
       S.Ref.Base->AddressTaken = true;
       S.Dst = Dst;
       setTempType(Dst, TypeKind::Int);
-      CurBB->append(std::move(S));
+      appendStmt(std::move(S));
       return true;
     }
     if (C.eat("alloc")) {
@@ -427,7 +434,7 @@ private:
       S.HeapSym = M.createHeapSite(Site, TypeKind::Int);
       S.Dst = Dst;
       setTempType(Dst, TypeKind::Int);
-      CurBB->append(std::move(S));
+      appendStmt(std::move(S));
       return true;
     }
     if (C.peek("call")) {
@@ -470,7 +477,7 @@ private:
       setTempType(S.AddrDst, TypeKind::Int);
     }
     setTempType(Dst, S.Ref.ValueType);
-    CurBB->append(std::move(S));
+    appendStmt(std::move(S));
     return true;
   }
 
@@ -496,7 +503,7 @@ private:
       if (!parseTempRef(C, S.AlatDst))
         return fail("malformed alat->");
     }
-    CurBB->append(std::move(S));
+    appendStmt(std::move(S));
     return true;
   }
 
@@ -534,7 +541,7 @@ private:
                    : TypeKind::Int;
     }
     setTempType(Dst, Result);
-    CurBB->append(std::move(S));
+    appendStmt(std::move(S));
     return true;
   }
 
@@ -566,7 +573,7 @@ private:
     if (Dst != NoTemp)
       setTempType(Dst, S.Callee->HasReturnValue ? S.Callee->ReturnType
                                                 : TypeKind::Int);
-    CurBB->append(std::move(S));
+    appendStmt(std::move(S));
     return true;
   }
 

@@ -72,6 +72,9 @@ struct Stmt {
   std::vector<Operand> Args;
   Symbol *HeapSym = nullptr;
   unsigned Id = 0; ///< Unique within the function; stable across edits.
+  /// Source line in the .sir file the statement was parsed from, or 0
+  /// for statements synthesised by a pass. Diagnostics only.
+  unsigned Line = 0;
 
   bool isLoad() const { return Kind == StmtKind::Load; }
   bool isStore() const { return Kind == StmtKind::Store; }

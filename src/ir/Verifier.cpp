@@ -272,12 +272,40 @@ std::vector<std::string> srp::ir::verifyModule(const Module &M) {
   return Errors;
 }
 
+namespace {
+
+/// Shared tail of the two verifyOrDie overloads.
+[[noreturn]] void dieWithErrors(std::string Message,
+                                const std::vector<std::string> &Errors) {
+  for (size_t I = 0; I < Errors.size() && I < 8; ++I)
+    Message += "\n  " + Errors[I];
+  fatalError(Message);
+}
+
+} // namespace
+
 void srp::ir::verifyOrDie(const Module &M, const char *When) {
   std::vector<std::string> Errors = verifyModule(M);
   if (Errors.empty())
     return;
-  std::string Message = formatString("verifier failed %s:", When);
-  for (size_t I = 0; I < Errors.size() && I < 8; ++I)
-    Message += "\n  " + Errors[I];
-  fatalError(Message);
+  // Individual diagnostics carry their function prefix; name the first
+  // failing function in the headline too so truncated logs still say
+  // where to look. (Module-level diagnostics have no such prefix.)
+  size_t Sep = Errors[0].find(':');
+  std::string Headline =
+      Sep == std::string::npos
+          ? formatString("verifier failed %s:", When)
+          : formatString("verifier failed %s in function '%s':", When,
+                         Errors[0].substr(0, Sep).c_str());
+  dieWithErrors(std::move(Headline), Errors);
+}
+
+void srp::ir::verifyOrDie(const Function &F, const char *When) {
+  std::vector<std::string> Errors;
+  verifyFunction(F, Errors);
+  if (Errors.empty())
+    return;
+  dieWithErrors(formatString("verifier failed %s in function '%s':", When,
+                             F.getName().c_str()),
+                Errors);
 }

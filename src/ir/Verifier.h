@@ -38,6 +38,12 @@ void verifyFunction(const Function &F, std::vector<std::string> &Errors);
 /// few diagnostics. Convenience for pipeline code and examples.
 void verifyOrDie(const Module &M, const char *When);
 
+/// Per-function variant: aborts if \p F fails verification. The fatal
+/// message names the failing function alongside \p When, so a pass that
+/// verifies each function it touches produces attributable diagnostics
+/// ("verifier failed after promotion in function 'walk': ...").
+void verifyOrDie(const Function &F, const char *When);
+
 } // namespace srp::ir
 
 #endif // SRP_IR_VERIFIER_H

@@ -5,6 +5,7 @@
 #include "pre/CopyProp.h"
 
 #include "ir/Printer.h"
+#include "ir/Verifier.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -1546,8 +1547,10 @@ PromotionStats srp::pre::promoteFunction(ir::Function &F,
   // those up; it never speculates, so running it after any strategy is
   // sound.
   if (Config.EnableAlat || Config.EnableSoftwareCheck) {
-    FunctionPromoter Cleanup(F, AA, Profile, Edges,
-                             PromotionConfig::conservative());
+    // Materialised into a local: FunctionPromoter keeps a reference to
+    // its config, so a temporary here would dangle once run() executes.
+    const PromotionConfig Conservative = PromotionConfig::conservative();
+    FunctionPromoter Cleanup(F, AA, Profile, Edges, Conservative);
     Stats += Cleanup.run();
     // Coalesce the snapshot copies CodeMotion introduced (register
     // allocators do this via coalescing; the simulated instruction
@@ -1555,6 +1558,10 @@ PromotionStats srp::pre::promoteFunction(ir::Function &F,
     propagateCopies(F);
     F.recomputeCFG();
   }
+  // Promotion must leave well-formed IR behind; dying here (with the
+  // function named) pins a verifier regression to the pass and function
+  // that produced it instead of a later whole-module sweep.
+  ir::verifyOrDie(F, "after promotion");
   return Stats;
 }
 

@@ -18,9 +18,20 @@
 // edge profiles (the "train" run) and as the correctness oracle; srp-run
 // exits non-zero if the simulated output diverges.
 //
+//   srp-run lint [options] program.sir
+//     Static speculation-safety checking (analysis/SpecVerifier.h): by
+//     default the program is promoted first (same profile-feedback flow
+//     as a normal run, honouring --strategy/--cascade/--sta/--no-profile
+//     and --alat-entries) and the *promoted* IR is verified; with
+//     --no-promote the input is linted as written, which is the mode for
+//     hand-authored speculative .sir files. --Werror promotes warnings
+//     (the ALAT capacity lint) to a failing exit. Exit status: 0 clean,
+//     1 findings, 2 usage/parse errors.
+//
 //===----------------------------------------------------------------------===//
 
 #include "alias/AliasAnalysis.h"
+#include "analysis/SpecVerifier.h"
 #include "arch/Simulator.h"
 #include "codegen/Lowering.h"
 #include "codegen/RegAlloc.h"
@@ -47,12 +58,25 @@ struct Options {
   bool PrintIR = false;
   bool PrintAsm = false;
   arch::SimConfig Sim;
+  // Lint-mode (srp-run lint ...) options.
+  bool Lint = false;
+  bool Promote = true;     ///< lint the promoted IR (default) or as-is
+  bool WarnAsError = false;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
-  for (int I = 1; I < Argc; ++I) {
+  int First = 1;
+  if (Argc > 1 && std::strcmp(Argv[1], "lint") == 0) {
+    Opts.Lint = true;
+    First = 2;
+  }
+  for (int I = First; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
-    if (Arg == "--strategy=conservative")
+    if (Opts.Lint && Arg == "--no-promote")
+      Opts.Promote = false;
+    else if (Opts.Lint && Arg == "--Werror")
+      Opts.WarnAsError = true;
+    else if (Arg == "--strategy=conservative")
       Opts.Promotion = pre::PromotionConfig::conservative();
     else if (Arg == "--strategy=baseline")
       Opts.Promotion = pre::PromotionConfig::baselineO3();
@@ -87,6 +111,53 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     return false;
   }
   return true;
+}
+
+/// srp-run lint: static speculation-safety checking. Returns the process
+/// exit code. \p M is already parsed and verified.
+int runLint(ir::Module &M, const Options &Opts) {
+  // The same Steensgaard result serves the promoter and the verifier
+  // (promotion introduces no new memory objects, so the pre-promotion
+  // points-to solution stays valid for the promoted IR).
+  alias::SteensgaardAnalysis AA(M);
+
+  if (Opts.Promote) {
+    interp::AliasProfile AP;
+    interp::EdgeProfile EP;
+    interp::Interpreter Train(M);
+    Train.setAliasProfile(&AP);
+    Train.setEdgeProfile(&EP);
+    interp::RunResult Train_ = Train.run();
+    if (!Train_.Ok) {
+      errs() << "train run failed: " << Train_.Error << '\n';
+      return 2;
+    }
+    pre::promoteModule(M, AA, Opts.UseProfile ? &AP : nullptr, &EP,
+                       Opts.Promotion);
+  }
+  if (Opts.PrintIR) {
+    outs() << "--- linted IR ---\n";
+    ir::printModule(M, outs());
+  }
+
+  analysis::SpecVerifyConfig SVC;
+  SVC.AlatEntries = Opts.Sim.Alat.Entries;
+  SVC.AA = &AA;
+  std::vector<analysis::SpecDiag> Diags = analysis::verifySpeculation(M, SVC);
+
+  unsigned NumErrors = 0, NumWarnings = 0;
+  for (const analysis::SpecDiag &D : Diags) {
+    if (D.Severity == analysis::SpecDiagSeverity::Error)
+      ++NumErrors;
+    else
+      ++NumWarnings;
+    errs() << analysis::formatSpecDiag(D, Opts.InputPath) << '\n';
+  }
+  errs() << formatString("%s: %u error(s), %u warning(s)\n",
+                         Opts.InputPath.c_str(), NumErrors, NumWarnings);
+  if (NumErrors > 0 || (Opts.WarnAsError && NumWarnings > 0))
+    return 1;
+  return 0;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -125,6 +196,9 @@ int main(int Argc, char **Argv) {
       errs() << Opts.InputPath << ": " << E << '\n';
     return 2;
   }
+
+  if (Opts.Lint)
+    return runLint(M, Opts);
 
   // Train + oracle run.
   interp::AliasProfile AP;
