@@ -5,23 +5,142 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the figure-reproduction benches: run a workload
-/// under a strategy, and tabulate results the way the paper's figures
-/// report them.
+/// Helpers shared by the figure-reproduction benches. Every figure and
+/// ablation runs the same job shape — a workload×config grid of
+/// pipelines — so the harness parses the common command line (-jN,
+/// --smoke, --timing, --stats), hands the grid to core::runExperiments,
+/// dies on any failure or oracle divergence, and reports per-pass timing
+/// and the stats registry on request. Counters are identical for every
+/// -j value (see core/Experiment.h), so parallelism never changes a
+/// figure, only its wall-clock.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SRP_BENCH_BENCHUTIL_H
 #define SRP_BENCH_BENCHUTIL_H
 
+#include "core/Experiment.h"
 #include "core/Pipeline.h"
 #include "support/Error.h"
 #include "support/OStream.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
+#include <cstdlib>
+#include <map>
+
 namespace srp::bench {
 
+/// Command-line options every fig*/ablation_* binary accepts.
+struct BenchOptions {
+  unsigned Threads = 1; ///< -jN: parallel pipelines
+  bool Smoke = false;   ///< --smoke: scale inputs down to a CI-fast run
+  bool Timing = false;  ///< --timing: per-pass wall-time breakdown
+  bool Stats = false;   ///< --stats: dump the process StatsRegistry
+};
+
+inline BenchOptions parseBenchOptions(int Argc, char **Argv) {
+  BenchOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (startsWith(Arg, "-j") && Arg.size() > 2)
+      Opts.Threads = static_cast<unsigned>(
+          std::max(1, std::atoi(Arg.data() + 2)));
+    else if (Arg == "--smoke")
+      Opts.Smoke = true;
+    else if (Arg == "--timing")
+      Opts.Timing = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else
+      fatalError("unknown bench option '" + std::string(Arg) +
+                 "' (supported: -jN --smoke --timing --stats)");
+  }
+  return Opts;
+}
+
+/// A workload×config grid with its results, indexed [workload][config].
+struct ExperimentGrid {
+  std::vector<core::Workload> Workloads; ///< possibly smoke-rescaled
+  size_t NumConfigs = 0;
+  std::vector<core::PipelineResult> Results;
+
+  const core::PipelineResult &at(size_t WI, size_t CI) const {
+    return Results[WI * NumConfigs + CI];
+  }
+};
+
+/// Runs \p Exps through the parallel driver with the oracle gate on,
+/// dying on the first failed experiment (a bench result is only
+/// meaningful if the binary is correct).
+inline std::vector<core::PipelineResult>
+runExperimentsOrDie(const std::vector<core::Experiment> &Exps,
+                    const BenchOptions &Opts) {
+  core::ExperimentOptions EO;
+  EO.Threads = Opts.Threads;
+  EO.CheckOracle = true;
+  std::vector<core::PipelineResult> Results = core::runExperiments(Exps, EO);
+  for (size_t I = 0; I < Results.size(); ++I)
+    if (!Results[I].Ok)
+      fatalError(Exps[I].Label + ": " + Results[I].Error);
+  return Results;
+}
+
+/// Runs every workload under every config. Workloads are taken by value:
+/// --smoke rescales the copies (train == ref == 1) without touching the
+/// caller's definitions.
+inline ExperimentGrid runGridOrDie(std::vector<core::Workload> Ws,
+                                   const std::vector<core::PipelineConfig> &Configs,
+                                   const BenchOptions &Opts) {
+  ExperimentGrid G;
+  G.Workloads = std::move(Ws);
+  G.NumConfigs = Configs.size();
+  if (Opts.Smoke)
+    for (core::Workload &W : G.Workloads) {
+      W.TrainScale = 1;
+      W.RefScale = 1;
+    }
+  std::vector<core::Experiment> Exps;
+  Exps.reserve(G.Workloads.size() * Configs.size());
+  for (const core::Workload &W : G.Workloads)
+    for (const core::PipelineConfig &C : Configs)
+      Exps.push_back({&W, C, W.Name});
+  G.Results = runExperimentsOrDie(Exps, Opts);
+  return G;
+}
+
+/// Prints the per-pass wall-time breakdown summed over \p Results
+/// (--timing). Pass times include only enabled passes that ran.
+inline void reportTiming(const std::vector<core::PipelineResult> &Results) {
+  std::map<std::string, uint64_t> Total;
+  for (const core::PipelineResult &R : Results)
+    for (const core::PipelineResult::PassTiming &T : R.Timings)
+      Total[T.Name] += T.Micros;
+  outs() << "\n-- pass timing (us, summed over " << Results.size()
+         << " pipelines) --\n";
+  for (const auto &[Name, Micros] : Total)
+    outs() << formatString("  %12llu  %s\n", (unsigned long long)Micros,
+                           Name.c_str());
+}
+
+/// End-of-bench reporting hook: --timing and --stats output.
+inline void finishBench(const BenchOptions &Opts,
+                        const std::vector<core::PipelineResult> &Results) {
+  if (Opts.Timing)
+    reportTiming(Results);
+  if (Opts.Stats) {
+    outs() << "\n-- stats registry --\n";
+    StatsRegistry::get().report(outs());
+  }
+}
+
+inline void finishBench(const BenchOptions &Opts, const ExperimentGrid &G) {
+  finishBench(Opts, G.Results);
+}
+
+/// Single-pipeline convenience used by the micro benches: run and check
+/// against the interpreter oracle, dying on failure.
 inline core::PipelineResult runOrDie(const core::Workload &W,
                                      const core::PipelineConfig &Config) {
   core::PipelineResult R = core::runPipeline(W, Config);

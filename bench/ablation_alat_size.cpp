@@ -104,51 +104,63 @@ Workload stressWorkload(unsigned K) {
   return W;
 }
 
-void sweep(const Workload &W) {
-  struct Geometry {
-    unsigned Entries, Ways, TagBits;
-    const char *Note;
-  };
-  const Geometry Geoms[] = {
-      {32, 2, 20, "Itanium-like"}, {16, 2, 20, "half size"},
-      {8, 2, 20, "quarter size"},  {4, 2, 20, "tiny"},
-      {32, 1, 20, "direct-mapped"}, {64, 4, 20, "oversized"},
-      {32, 2, 14, "14-bit tags"},  {32, 2, 11, "11-bit tags"},
-      {32, 2, 8, "8-bit tags"},    {32, 2, 48, "full tags"},
-  };
-  outs() << formatString("%-10s %8s %6s %9s %10s %11s %11s %12s\n",
-                         W.Name.c_str(), "entries", "ways", "tag-bits",
-                         "failed(%)", "false-inv", "evictions",
-                         "cycles");
+struct Geometry {
+  unsigned Entries, Ways, TagBits;
+  const char *Note;
+};
+
+const Geometry Geoms[] = {
+    {32, 2, 20, "Itanium-like"}, {16, 2, 20, "half size"},
+    {8, 2, 20, "quarter size"},  {4, 2, 20, "tiny"},
+    {32, 1, 20, "direct-mapped"}, {64, 4, 20, "oversized"},
+    {32, 2, 14, "14-bit tags"},  {32, 2, 11, "11-bit tags"},
+    {32, 2, 8, "8-bit tags"},    {32, 2, 48, "full tags"},
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
+  printHeader("Ablation: ALAT geometry",
+              "stress kernels with K concurrently tracked registers over "
+              "a streaming store window; failures degrade performance, "
+              "never correctness");
+
+  std::vector<Workload> Ws;
+  for (unsigned K : {4, 12, 24, 40})
+    Ws.push_back(stressWorkload(K));
+  std::vector<PipelineConfig> Configs;
   for (const Geometry &G : Geoms) {
     PipelineConfig C = configFor(pre::PromotionConfig::alat());
     C.Sim.Alat.Entries = G.Entries;
     C.Sim.Alat.Ways = G.Ways;
     C.Sim.Alat.PartialTagBits = G.TagBits;
-    PipelineResult R = runOrDie(W, C);
-    const auto &Ctr = R.Sim.Counters;
-    double FailPct = Ctr.AlatChecks
-                         ? 100.0 * double(Ctr.AlatCheckFailures) /
-                               double(Ctr.AlatChecks)
-                         : 0.0;
-    outs() << formatString(
-        "%-10s %8u %6u %9u %9.2f%% %11llu %11llu %12llu  %s\n", "",
-        G.Entries, G.Ways, G.TagBits, FailPct,
-        (unsigned long long)R.Sim.Alat.FalseInvalidations,
-        (unsigned long long)R.Sim.Alat.CapacityEvictions,
-        (unsigned long long)Ctr.Cycles, G.Note);
+    Configs.push_back(C);
   }
-  outs() << '\n';
-}
+  ExperimentGrid Grid = runGridOrDie(std::move(Ws), Configs, Opts);
 
-} // namespace
-
-int main() {
-  printHeader("Ablation: ALAT geometry",
-              "stress kernels with K concurrently tracked registers over "
-              "a streaming store window; failures degrade performance, "
-              "never correctness");
-  for (unsigned K : {4, 12, 24, 40})
-    sweep(stressWorkload(K));
+  for (size_t WI = 0; WI < Grid.Workloads.size(); ++WI) {
+    outs() << formatString("%-10s %8s %6s %9s %10s %11s %11s %12s\n",
+                           Grid.Workloads[WI].Name.c_str(), "entries",
+                           "ways", "tag-bits", "failed(%)", "false-inv",
+                           "evictions", "cycles");
+    for (size_t GI = 0; GI < std::size(Geoms); ++GI) {
+      const Geometry &G = Geoms[GI];
+      const PipelineResult &R = Grid.at(WI, GI);
+      const auto &Ctr = R.Sim.Counters;
+      double FailPct = Ctr.AlatChecks
+                           ? 100.0 * double(Ctr.AlatCheckFailures) /
+                                 double(Ctr.AlatChecks)
+                           : 0.0;
+      outs() << formatString(
+          "%-10s %8u %6u %9u %9.2f%% %11llu %11llu %12llu  %s\n", "",
+          G.Entries, G.Ways, G.TagBits, FailPct,
+          (unsigned long long)R.Sim.Alat.FalseInvalidations,
+          (unsigned long long)R.Sim.Alat.CapacityEvictions,
+          (unsigned long long)Ctr.Cycles, G.Note);
+    }
+    outs() << '\n';
+  }
+  finishBench(Opts, Grid);
   return 0;
 }

@@ -18,29 +18,34 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Ablation: alias precision vs speculation",
               "cycles: conservative/Steensgaard vs conservative/Andersen "
               "vs ALAT speculation");
 
+  PipelineConfig AndersenCfg =
+      configFor(pre::PromotionConfig::conservative());
+  AndersenCfg.UseAndersen = true;
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::conservative()), AndersenCfg,
+       configFor(pre::PromotionConfig::alat())},
+      Opts);
+
   outs() << formatString("%-8s %14s %14s %12s\n", "bench", "steensgaard",
                          "andersen", "alat");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Steens =
-        runOrDie(W, configFor(pre::PromotionConfig::conservative()));
-    PipelineConfig AndersenCfg =
-        configFor(pre::PromotionConfig::conservative());
-    AndersenCfg.UseAndersen = true;
-    PipelineResult Anders = runOrDie(W, AndersenCfg);
-    PipelineResult Alat =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
-    outs() << formatString("%-8s %14llu %14llu %12llu\n", W.Name.c_str(),
-                           (unsigned long long)Steens.Sim.Counters.Cycles,
-                           (unsigned long long)Anders.Sim.Counters.Cycles,
-                           (unsigned long long)Alat.Sim.Counters.Cycles);
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    outs() << formatString(
+        "%-8s %14llu %14llu %12llu\n", W.Name.c_str(),
+        (unsigned long long)G.at(WI, 0).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 1).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 2).Sim.Counters.Cycles);
   }
   outs() << "\nexpected: andersen <= steensgaard (never worse), and alat "
             "well below both — the ambiguity here is dynamic, not an "
             "analysis artifact\n";
+  finishBench(Opts, G);
   return 0;
 }

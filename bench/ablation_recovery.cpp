@@ -111,23 +111,33 @@ Workload cascadeWorkload(int64_t CollidePeriod) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Ablation: recovery penalty",
               "chk.a mis-speculation cost sweep (the paper: 'address "
               "mis-speculation could be expensive')");
 
+  // Config 0 is the baseline; 1..4 sweep the chk.a recovery penalty.
+  const unsigned Penalties[] = {5u, 15u, 50u, 150u};
+  std::vector<PipelineConfig> Configs = {
+      configFor(pre::PromotionConfig::baselineO3())};
+  for (unsigned Penalty : Penalties) {
+    PipelineConfig C = configFor(pre::PromotionConfig::alat());
+    C.Promotion.EnableCascade = true;
+    C.Sim.ChkMissPenalty = Penalty;
+    Configs.push_back(C);
+  }
+  ExperimentGrid G = runGridOrDie(
+      {cascadeWorkload(64), cascadeWorkload(8)}, Configs, Opts);
+
   outs() << formatString("%-12s %10s %10s %12s %12s %12s\n", "kernel",
                          "recover", "penalty", "cycles", "vs baseline",
                          "fail(%)");
-  for (int64_t Period : {64, 8}) {
-    Workload W = cascadeWorkload(Period);
-    PipelineResult Base =
-        runOrDie(W, configFor(pre::PromotionConfig::baselineO3()));
-    for (unsigned Penalty : {5u, 15u, 50u, 150u}) {
-      PipelineConfig C = configFor(pre::PromotionConfig::alat());
-      C.Promotion.EnableCascade = true;
-      C.Sim.ChkMissPenalty = Penalty;
-      PipelineResult R = runOrDie(W, C);
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const PipelineResult &Base = G.at(WI, 0);
+    for (size_t PI = 0; PI < std::size(Penalties); ++PI) {
+      const PipelineResult &R = G.at(WI, PI + 1);
       const auto &Ctr = R.Sim.Counters;
       double FailPct = Ctr.AlatChecks
                            ? 100.0 * double(Ctr.AlatCheckFailures) /
@@ -139,8 +149,8 @@ int main() {
                      double(Base.Sim.Counters.Cycles);
       outs() << formatString(
           "%-12s %10llu %10u %12llu %+11.1f%% %11.2f%%\n",
-          W.Name.c_str(), (unsigned long long)Ctr.ChkARecoveries, Penalty,
-          (unsigned long long)Ctr.Cycles, Delta, FailPct);
+          W.Name.c_str(), (unsigned long long)Ctr.ChkARecoveries,
+          Penalties[PI], (unsigned long long)Ctr.Cycles, Delta, FailPct);
     }
   }
   outs() << "\nreading: cascade speculation loses even at modest "
@@ -148,5 +158,6 @@ int main() {
             "precisely why the paper's implementation is 'limited to "
             "expressions that will not cause cascaded failure' (§4); "
             "EnableCascade stays off by default here too\n";
+  finishBench(Opts, G);
   return 0;
 }

@@ -13,21 +13,26 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Ablation: st.a extension (§2.5)",
               "the extension removes the ld.a after defining stores");
+
+  pre::PromotionConfig C = pre::PromotionConfig::alat();
+  C.UseStA = true;
+  PipelineConfig Pipe = configFor(C);
+  Pipe.Sim.UseStA = true;
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::alat()), Pipe}, Opts);
 
   outs() << formatString("%-8s %12s %12s %12s %12s %10s\n", "bench",
                          "loads", "loads+st.a", "cycles", "cycles+st.a",
                          "st.a uses");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Plain =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
-    pre::PromotionConfig C = pre::PromotionConfig::alat();
-    C.UseStA = true;
-    PipelineConfig Pipe = configFor(C);
-    Pipe.Sim.UseStA = true;
-    PipelineResult StA = runOrDie(W, Pipe);
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const PipelineResult &Plain = G.at(WI, 0);
+    const PipelineResult &StA = G.at(WI, 1);
     outs() << formatString("%-8s %12llu %12llu %12llu %12llu %10u\n",
                            W.Name.c_str(),
                            (unsigned long long)Plain.Sim.Counters.RetiredLoads,
@@ -36,5 +41,6 @@ int main() {
                            (unsigned long long)StA.Sim.Counters.Cycles,
                            StA.Promotion.StAStores);
   }
+  finishBench(Opts, G);
   return 0;
 }

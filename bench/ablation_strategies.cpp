@@ -14,37 +14,39 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Ablation: promotion strategies",
               "cycles per workload across the strategy ladder");
+
+  pre::PromotionConfig StACfg = pre::PromotionConfig::alat();
+  StACfg.UseStA = true;
+  PipelineConfig StAPipe = configFor(StACfg);
+  StAPipe.Sim.UseStA = true;
+  PipelineConfig NoProf = configFor(pre::PromotionConfig::alat());
+  NoProf.UseAliasProfile = false;
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::conservative()),
+       configFor(pre::PromotionConfig::baselineO3()),
+       configFor(pre::PromotionConfig::alat()), StAPipe, NoProf},
+      Opts);
 
   outs() << formatString("%-8s %12s %12s %12s %12s %14s\n", "bench",
                          "conserv", "baseline", "alat", "alat+st.a",
                          "alat(no prof)");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Cons =
-        runOrDie(W, configFor(pre::PromotionConfig::conservative()));
-    PipelineResult Base =
-        runOrDie(W, configFor(pre::PromotionConfig::baselineO3()));
-    PipelineResult Alat =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
-    pre::PromotionConfig StACfg = pre::PromotionConfig::alat();
-    StACfg.UseStA = true;
-    PipelineConfig StAPipe = configFor(StACfg);
-    StAPipe.Sim.UseStA = true;
-    PipelineResult StA = runOrDie(W, StAPipe);
-    PipelineConfig NoProf = configFor(pre::PromotionConfig::alat());
-    NoProf.UseAliasProfile = false;
-    PipelineResult NP = runOrDie(W, NoProf);
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
     outs() << formatString(
         "%-8s %12llu %12llu %12llu %12llu %14llu\n", W.Name.c_str(),
-        (unsigned long long)Cons.Sim.Counters.Cycles,
-        (unsigned long long)Base.Sim.Counters.Cycles,
-        (unsigned long long)Alat.Sim.Counters.Cycles,
-        (unsigned long long)StA.Sim.Counters.Cycles,
-        (unsigned long long)NP.Sim.Counters.Cycles);
+        (unsigned long long)G.at(WI, 0).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 1).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 2).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 3).Sim.Counters.Cycles,
+        (unsigned long long)G.at(WI, 4).Sim.Counters.Cycles);
   }
   outs() << "\nexpected order: conserv >= baseline >= alat >= alat+st.a; "
             "alat without a profile ~= baseline\n";
+  finishBench(Opts, G);
   return 0;
 }

@@ -14,16 +14,20 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Figure 10: mis-speculation in speculative promotion",
               "paper: ratios are small; gzip ~5% but with few checks");
 
+  ExperimentGrid G =
+      runGridOrDie(workloads::standardWorkloads(),
+                   {configFor(pre::PromotionConfig::alat())}, Opts);
+
   outs() << formatString("%-8s %10s %10s %12s %16s\n", "bench", "checks",
                          "failed", "misspec(%)", "checks/loads(%)");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Spec =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
-    const auto &C = Spec.Sim.Counters;
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const auto &C = G.at(WI, 0).Sim.Counters;
     double Ratio = C.AlatChecks
                        ? 100.0 * double(C.AlatCheckFailures) /
                              double(C.AlatChecks)
@@ -38,5 +42,6 @@ int main() {
                            (unsigned long long)C.AlatCheckFailures, Ratio,
                            Weight);
   }
+  finishBench(Opts, G);
   return 0;
 }

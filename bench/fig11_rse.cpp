@@ -15,19 +15,25 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Figure 11: RSE memory cycle increase",
               "paper: increases are relatively visible but absolutely "
               "negligible");
 
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::baselineO3()),
+       configFor(pre::PromotionConfig::alat())},
+      Opts);
+
   outs() << formatString("%-8s %12s %12s %12s %14s %12s\n", "bench",
                          "rse(base)", "rse(spec)", "increase(%)",
                          "rse/cycles(%)", "frame regs");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Base =
-        runOrDie(W, configFor(pre::PromotionConfig::baselineO3()));
-    PipelineResult Spec =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const PipelineResult &Base = G.at(WI, 0);
+    const PipelineResult &Spec = G.at(WI, 1);
     uint64_t RseB = Base.Sim.Counters.RseCycles;
     uint64_t RseS = Spec.Sim.Counters.RseCycles;
     double Inc = RseB ? 100.0 * (double(RseS) - double(RseB)) /
@@ -43,5 +49,6 @@ int main() {
   }
   outs() << "\n(workloads are shallow call trees, so most rows are 0 — "
             "the deep-call RSE path is exercised by CodegenTest)\n";
+  finishBench(Opts, G);
   return 0;
 }

@@ -19,21 +19,27 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Figure 8: performance of speculative register promotion",
               "% reduction vs baseline O3 (software checks enabled); "
               "paper reports 1-7% CPU cycles on full SPEC programs");
+
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::baselineO3()),
+       configFor(pre::PromotionConfig::alat())},
+      Opts);
 
   outs() << formatString("%-8s %12s %14s %14s %16s\n", "bench",
                          "cycles(%)", "data-acc(%)", "loads(%)",
                          "cycles base->spec");
   double SumCyc = 0, SumLd = 0;
   unsigned N = 0;
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Base =
-        runOrDie(W, configFor(pre::PromotionConfig::baselineO3()));
-    PipelineResult Spec =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const PipelineResult &Base = G.at(WI, 0);
+    const PipelineResult &Spec = G.at(WI, 1);
     double Cyc = pctReduction(Base.Sim.Counters.Cycles,
                               Spec.Sim.Counters.Cycles);
     double Da = pctReduction(Base.Sim.Counters.DataAccessCycles,
@@ -64,5 +70,6 @@ int main() {
         F * 100.0, F * SumCyc / N);
   outs() << "(the paper's 1-7%% corresponds to kernels covering roughly "
             "5-30%% of execution)\n";
+  finishBench(Opts, G);
   return 0;
 }

@@ -17,17 +17,23 @@ using namespace srp;
 using namespace srp::bench;
 using namespace srp::core;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts = parseBenchOptions(argc, argv);
   printHeader("Figure 9: direct vs indirect among reduced loads",
               "paper: indirect dominates for ammp, gzip, mcf, parser");
 
+  ExperimentGrid G = runGridOrDie(
+      workloads::standardWorkloads(),
+      {configFor(pre::PromotionConfig::baselineO3()),
+       configFor(pre::PromotionConfig::alat())},
+      Opts);
+
   outs() << formatString("%-8s %12s %12s %14s\n", "bench", "direct(%)",
                          "indirect(%)", "sites (d/i)");
-  for (const Workload &W : workloads::standardWorkloads()) {
-    PipelineResult Base =
-        runOrDie(W, configFor(pre::PromotionConfig::baselineO3()));
-    PipelineResult Spec =
-        runOrDie(W, configFor(pre::PromotionConfig::alat()));
+  for (size_t WI = 0; WI < G.Workloads.size(); ++WI) {
+    const Workload &W = G.Workloads[WI];
+    const PipelineResult &Base = G.at(WI, 0);
+    const PipelineResult &Spec = G.at(WI, 1);
     // The speculative pass's extra removals over the baseline.
     auto Extra = [](uint64_t SpecV, uint64_t BaseV) {
       return SpecV > BaseV ? SpecV - BaseV : 0;
@@ -44,5 +50,6 @@ int main() {
                            Spec.Promotion.LoadsRemovedDirect,
                            Spec.Promotion.LoadsRemovedIndirect);
   }
+  finishBench(Opts, G);
   return 0;
 }

@@ -218,6 +218,10 @@ AndersenAnalysis::pointsToSetOf(const ir::MemRef &Ref,
   // a scratch set would be an optimization; call sites are cold).
   if (Ref.Depth == 1)
     return pts(Ref.Base->Id);
+  // thread_local: concurrent pipelines (core::runExperiments) query their
+  // own analyses in parallel; the returned reference is only valid until
+  // the same thread's next depth-2 query, which every caller consumes
+  // immediately.
   static thread_local std::set<unsigned> Scratch;
   Scratch.clear();
   for (unsigned P : pts(Ref.Base->Id))

@@ -7,10 +7,13 @@
 #include <cstdlib>
 
 static bool traceOn() {
+  // Written once under the magic-static lock, read-only afterwards.
   static bool On = getenv("SRP_ALAT_TRACE") != nullptr;
   return On;
 }
-static int TraceBudget = 400;
+// Each pipeline worker (core::runExperiments) simulates its own ALATs
+// concurrently, so the debug-trace budget is per-thread.
+static thread_local int TraceBudget = 400;
 
 using namespace srp::arch;
 

@@ -1,0 +1,51 @@
+//===- Experiment.cpp - Parallel workload×strategy driver ---------------------===//
+
+#include "core/Experiment.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace srp;
+using namespace srp::core;
+
+std::vector<PipelineResult>
+srp::core::runExperiments(const std::vector<Experiment> &Exps,
+                          const ExperimentOptions &Opts) {
+  std::vector<PipelineResult> Results(Exps.size());
+  std::atomic<size_t> Next{0};
+
+  // Work-stealing by atomic index: the schedule (which worker runs which
+  // experiment) is nondeterministic, the results are not — each pipeline
+  // owns all its state and deposits into its own slot.
+  auto Worker = [&Exps, &Results, &Next, &Opts] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Exps.size())
+        return;
+      const Experiment &E = Exps[I];
+      PipelineResult R = runPipeline(*E.W, E.Config);
+      if (Opts.CheckOracle && R.Ok &&
+          R.Output != oracleOutput(*E.W, E.Config.InterpFuel)) {
+        R.Ok = false;
+        R.Error = "simulated output diverges from the interpreter oracle";
+      }
+      Results[I] = std::move(R);
+    }
+  };
+
+  size_t NumWorkers = Opts.Threads > 1
+                          ? std::min<size_t>(Opts.Threads, Exps.size())
+                          : 1;
+  if (NumWorkers <= 1) {
+    Worker();
+    return Results;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (size_t T = 0; T < NumWorkers; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}

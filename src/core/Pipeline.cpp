@@ -1,17 +1,15 @@
 //===- Pipeline.cpp - The speculative register promotion pipeline ------------===//
+//
+// runPipeline is a pass composition now: the phases of the old monolithic
+// implementation live as named passes in Passes.cpp, sequenced by the
+// PassManager (core/Pass.h) with per-pass timing and disable plumbing.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
 
-#include "alias/AliasAnalysis.h"
-#include "alias/Andersen.h"
-#include "codegen/Lowering.h"
+#include "core/Pass.h"
 #include "interp/Interpreter.h"
-#include "ir/CFG.h"
-#include "ir/Verifier.h"
-#include "pre/Promoter.h"
-
-#include <algorithm>
-#include <memory>
 
 using namespace srp;
 using namespace srp::core;
@@ -35,129 +33,11 @@ std::vector<std::string> srp::core::oracleOutput(const Workload &W,
 
 PipelineResult srp::core::runPipeline(const Workload &W,
                                       const PipelineConfig &Config) {
-  PipelineResult Result;
-
-  // Phase 1: collect alias and edge profiles on the train build.
-  ir::Module M;
-  W.Build(M, W.TrainScale);
-  for (unsigned I = 0; I < M.numFunctions(); ++I)
-    M.function(I)->recomputeCFG();
-  {
-    std::vector<std::string> Errors = ir::verifyModule(M);
-    if (!Errors.empty()) {
-      Result.Error = "train module verification failed: " + Errors[0];
-      return Result;
-    }
-  }
-  interp::AliasProfile AP2;
-  interp::EdgeProfile EP2;
-  {
-    interp::Interpreter Interp(M);
-    Interp.setAliasProfile(&AP2);
-    Interp.setEdgeProfile(&EP2);
-    interp::RunResult R = Interp.run(Config.InterpFuel);
-    if (!R.Ok) {
-      Result.Error = "train run failed: " + R.Error;
-      return Result;
-    }
-  }
-
-  // The paper compiles one binary with train feedback and measures the
-  // ref input. Build(M, Scale) bakes the input scale into the program as
-  // data, so the ref module is a fresh build whose *code shape* is
-  // identical (a documented Workload contract, checked below); profile
-  // keys remap by function index and statement id.
-  ir::Module RefModule;
-  W.Build(RefModule, W.RefScale);
-  for (unsigned I = 0; I < RefModule.numFunctions(); ++I)
-    RefModule.function(I)->recomputeCFG();
-  std::vector<std::string> Errors = ir::verifyModule(RefModule);
-  if (!Errors.empty()) {
-    Result.Error = "ref module verification failed: " + Errors[0];
-    return Result;
-  }
-  if (RefModule.numFunctions() != M.numFunctions()) {
-    Result.Error = "workload changes shape across scales";
-    return Result;
-  }
-
-  // Remap profile keys from the train module's functions to the ref
-  // module's (same index, same statement ids).
-  interp::AliasProfile RefAP;
-  interp::EdgeProfile RefEP;
-  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
-    const ir::Function *TrainF = M.function(FI);
-    const ir::Function *RefF = RefModule.function(FI);
-    if (TrainF->numBlocks() != RefF->numBlocks()) {
-      Result.Error = "workload changes CFG shape across scales";
-      return Result;
-    }
-    for (unsigned BI = 0; BI < TrainF->numBlocks(); ++BI) {
-      const ir::BasicBlock *TB = TrainF->block(BI);
-      const ir::BasicBlock *RB = RefF->block(BI);
-      // Edge profile remap (successors match by position).
-      RefEP.addBlockCount(RB, EP2.blockCount(TB));
-      for (size_t SI = 0; SI < TB->succs().size(); ++SI)
-        RefEP.addEdgeCount(RB, RB->succs()[SI],
-                           EP2.edgeCount(TB, TB->succs()[SI]));
-      // Alias profile remap (statement ids are stable).
-      for (size_t SI = 0; SI < TB->size() && SI < RB->size(); ++SI) {
-        const ir::Stmt *TS = TB->stmt(SI);
-        const ir::Stmt *RS = RB->stmt(SI);
-        for (unsigned Level = 1; Level <= TS->Ref.Depth; ++Level) {
-          const std::set<unsigned> *Targets =
-              AP2.targets(TrainF, TS->Id, Level);
-          if (!Targets)
-            continue;
-          for (unsigned Sym : *Targets)
-            RefAP.recordTarget(RefF, RS->Id, Level, Sym);
-        }
-      }
-    }
-  }
-
-  // Phase 2: promote.
-  std::unique_ptr<alias::AliasAnalysis> AA;
-  if (Config.UseAndersen)
-    AA = std::make_unique<alias::AndersenAnalysis>(RefModule);
-  else
-    AA = std::make_unique<alias::SteensgaardAnalysis>(RefModule);
-  Result.Promotion = pre::promoteModule(
-      RefModule, *AA, Config.UseAliasProfile ? &RefAP : nullptr,
-      Config.UseEdgeProfile ? &RefEP : nullptr, Config.Promotion);
-  Errors = ir::verifyModule(RefModule);
-  if (!Errors.empty()) {
-    Result.Error = "post-promotion verification failed: " + Errors[0];
-    return Result;
-  }
-  if (Config.SpecVerify != SpecVerifyMode::Off) {
-    analysis::SpecVerifyConfig SVC;
-    SVC.AlatEntries = Config.Sim.Alat.Entries;
-    SVC.AA = AA.get();
-    Result.SpecDiags = analysis::verifySpeculation(RefModule, SVC);
-    if (Config.SpecVerify == SpecVerifyMode::Fatal &&
-        analysis::hasSpecErrors(Result.SpecDiags)) {
-      for (const analysis::SpecDiag &D : Result.SpecDiags)
-        if (D.Severity == analysis::SpecDiagSeverity::Error) {
-          Result.Error =
-              "speculation verification failed: " + analysis::formatSpecDiag(D);
-          return Result;
-        }
-    }
-  }
-
-  // Phase 3: lower, allocate, simulate.
-  auto MM = codegen::lowerModule(RefModule);
-  Result.RegAlloc = codegen::allocateRegisters(*MM, Config.RegAlloc);
-  for (unsigned FI = 0; FI < MM->numFunctions(); ++FI)
-    Result.MaxStackedRegs =
-        std::max(Result.MaxStackedRegs, MM->function(FI)->StackedRegsUsed);
-  Result.Sim = arch::simulate(*MM, Config.Sim);
-  if (!Result.Sim.Ok) {
-    Result.Error = "simulation failed: " + Result.Sim.Error;
-    return Result;
-  }
-  Result.Output = Result.Sim.Output;
-  Result.Ok = true;
-  return Result;
+  PipelineState S;
+  S.W = &W;
+  S.Config = Config;
+  PassManager PM;
+  addStandardPasses(PM);
+  PM.run(S);
+  return std::move(S.Result);
 }

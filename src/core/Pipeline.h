@@ -65,6 +65,10 @@ struct PipelineConfig {
   /// already buy without speculation?).
   bool UseAndersen = false;
   uint64_t InterpFuel = 400'000'000;
+  /// Pass names the manager skips (srp-run --disable-pass plumbing; see
+  /// core/Pass.h for the standard names). Disabling a pass a later pass
+  /// depends on fails that later pass with a diagnostic, not a crash.
+  std::vector<std::string> DisabledPasses;
 };
 
 /// One compiled-and-simulated run.
@@ -79,6 +83,14 @@ struct PipelineResult {
   /// SpecVerifier findings on the promoted IR (empty when SpecVerify is
   /// Off or the discipline holds).
   std::vector<analysis::SpecDiag> SpecDiags;
+  /// Wall time of each pass that ran, in run order (--timing reporting).
+  /// Not a counter: timings vary run to run, so determinism comparisons
+  /// must ignore this field.
+  struct PassTiming {
+    std::string Name;
+    uint64_t Micros = 0;
+  };
+  std::vector<PassTiming> Timings;
 };
 
 /// Compiles \p W with \p Config and simulates the ref input. The module

@@ -1,0 +1,251 @@
+//===- ApplyPlan.cpp - Batch IR mutation -------------------------------------===//
+//
+// Stage 6 of the staged SSAPRE pass (see PromotionContext.h): executes
+// the MutationPlan accumulated by CodeMotion.cpp in one batch — edge
+// insertions (splitting critical edges), def rewrites, check statements,
+// software compare+select pairs, and reuse→copy rewrites — then
+// recomputes the CFG.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pre/PromotionContext.h"
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::pre;
+using namespace srp::pre::detail;
+
+namespace {
+
+BasicBlock *insertionBlockFor(PromotionContext &Ctx, BasicBlock *From,
+                              BasicBlock *To) {
+  if (From->succs().size() == 1)
+    return From;
+  auto Key = std::make_pair(From, To);
+  auto It = Ctx.SplitBlocks.find(Key);
+  if (It != Ctx.SplitBlocks.end())
+    return It->second;
+  BasicBlock *Split =
+      Ctx.F.createBlock(From->getName() + "." + To->getName() + ".split");
+  Split->term().Kind = TermKind::Br;
+  Split->term().Target = To;
+  Terminator &T = From->term();
+  if (T.Target == To)
+    T.Target = Split;
+  if (T.Kind == TermKind::CondBr && T.FalseTarget == To)
+    T.FalseTarget = Split;
+  Ctx.SplitBlocks[Key] = Split;
+  return Split;
+}
+
+} // namespace
+
+void detail::applyPlan(PromotionContext &Ctx) {
+  Function &F = Ctx.F;
+  MutationPlan &Plan = Ctx.Plan;
+  // Edge insertions first (they create blocks; nothing else refers to
+  // statement positions in them).
+  for (const auto &Ins : Plan.EdgeInserts) {
+    BasicBlock *BB = insertionBlockFor(Ctx, Ins.From, Ins.To);
+    Stmt S;
+    S.Kind = StmtKind::Load;
+    S.Ref = Ins.Ref;
+    S.Flag = Ins.Flag;
+    S.Dst = Ins.Temp;
+    S.AddrDst = Ins.AddrTemp;
+    BB->append(std::move(S));
+  }
+  // Address materializations for software compares on direct refs.
+  for (const auto &Mat : Plan.AddrMats) {
+    Stmt S;
+    S.Kind = StmtKind::AddrOf;
+    S.Ref = Mat.Ref;
+    S.Ref.Depth = 0;
+    S.Ref.ValueType = Mat.Ref.Base->ElemType;
+    S.Dst = Mat.Temp;
+    Mat.Ref.Base->AddressTaken = true;
+    F.entry()->insertBefore(0, std::move(S));
+  }
+  for (const auto &Inv : Plan.Invalas) {
+    Stmt S;
+    S.Kind = StmtKind::Invala;
+    S.Dst = Inv.Temp;
+    Inv.BB->insertBefore(0, std::move(S));
+  }
+  // Defining loads: retarget to the promoted temp, preserve the old temp
+  // via a copy.
+  for (const auto &R : Plan.DefLoads) {
+    unsigned OldDst = R.S->Dst;
+    R.S->Dst = R.Temp;
+    R.S->Flag = R.Flag;
+    R.S->AddrDst = R.AddrTemp;
+    Stmt Copy;
+    Copy.Kind = StmtKind::Assign;
+    Copy.Op = Opcode::Copy;
+    Copy.Dst = OldDst;
+    Copy.A = Operand::temp(R.Temp);
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *Blk = F.block(BI);
+      for (size_t SI = 0; SI < Blk->size(); ++SI) {
+        if (Blk->stmt(SI) == R.S) {
+          Blk->insertAfter(SI, std::move(Copy));
+          BI = F.numBlocks();
+          break;
+        }
+      }
+    }
+  }
+  // Defining stores.
+  for (const auto &R : Plan.DefStores) {
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *Blk = F.block(BI);
+      for (size_t SI = 0; SI < Blk->size(); ++SI) {
+        if (Blk->stmt(SI) != R.S)
+          continue;
+        // st.a only applies when the chain pointer coincides with the
+        // final store address (no index/offset): the store's exposed
+        // address then doubles as the checks' chain pointer.
+        bool StAApplicable =
+            R.Ref.isDirect() ||
+            (!R.Ref.hasIndex() && R.Ref.Offset == 0);
+        if (R.UseStA && R.NeedAlat && StAApplicable) {
+          R.S->StA = true;
+          R.S->AlatDst = R.Temp;
+          if (R.AddrTemp != NoTemp)
+            R.S->AddrDst = R.AddrTemp;
+          ++Ctx.Stats.StAStores;
+          Stmt Copy;
+          Copy.Kind = StmtKind::Assign;
+          Copy.Op = Opcode::Copy;
+          Copy.Dst = R.Temp;
+          Copy.A = R.S->A;
+          Blk->insertAfter(SI, std::move(Copy));
+        } else if (R.NeedAlat) {
+          // The paper's read-after-write form: an explicit ld.a after the
+          // store secures the ALAT entry (Figure 1(b)). It re-walks the
+          // reference chain and exposes the chain pointer for the checks.
+          Stmt Ld;
+          Ld.Kind = StmtKind::Load;
+          Ld.Ref = R.Ref;
+          Ld.Flag = SpecFlag::LdA;
+          Ld.Dst = R.Temp;
+          Ld.AddrDst = R.AddrTemp;
+          Blk->insertAfter(SI, std::move(Ld));
+          ++Ctx.Stats.AdvancedLoads;
+        } else {
+          Stmt Copy;
+          Copy.Kind = StmtKind::Assign;
+          Copy.Op = Opcode::Copy;
+          Copy.Dst = R.Temp;
+          Copy.A = R.S->A;
+          Blk->insertAfter(SI, std::move(Copy));
+        }
+        BI = F.numBlocks();
+        break;
+      }
+    }
+  }
+  // ALAT checks after speculatively ignored stores.
+  for (const auto &C : Plan.Checks) {
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *Blk = F.block(BI);
+      for (size_t SI = 0; SI < Blk->size(); ++SI) {
+        if (Blk->stmt(SI) != C.After)
+          continue;
+        Stmt S;
+        S.Kind = StmtKind::Load;
+        S.Ref = C.Ref;
+        S.Flag = C.Cascade ? SpecFlag::ChkAnc : SpecFlag::LdCnc;
+        S.Dst = C.Temp;
+        S.AddrSrc = C.AddrTemp;
+        Blk->insertAfter(SI, std::move(S));
+        BI = F.numBlocks();
+        break;
+      }
+    }
+  }
+  // Software compare+forward pairs. For indirect expressions the saved
+  // chain pointer needs the constant offset re-applied to give the final
+  // address (symbolic indices were excluded at planning time).
+  for (const auto &C : Plan.SoftwareChecks) {
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *Blk = F.block(BI);
+      for (size_t SI = 0; SI < Blk->size(); ++SI) {
+        Stmt *Store = Blk->stmt(SI);
+        if (Store != C.After)
+          continue;
+        if (Store->AddrDst == NoTemp)
+          Store->AddrDst = F.createTemp(TypeKind::Int);
+        size_t Pos = SI;
+        unsigned ExprAddr = C.ExprAddrTemp;
+        if (C.ExprAddrIsChainPtr && C.ExtraOffset != 0) {
+          Stmt AddExtra;
+          AddExtra.Kind = StmtKind::Assign;
+          AddExtra.Op = Opcode::Add;
+          AddExtra.Dst = F.createTemp(TypeKind::Int);
+          AddExtra.A = Operand::temp(C.ExprAddrTemp);
+          AddExtra.B = Operand::constInt(C.ExtraOffset);
+          ExprAddr = AddExtra.Dst;
+          Blk->insertAfter(Pos++, std::move(AddExtra));
+        }
+        Stmt Cmp;
+        Cmp.Kind = StmtKind::Assign;
+        Cmp.Op = Opcode::CmpEq;
+        Cmp.Dst = F.createTemp(TypeKind::Int);
+        Cmp.A = Operand::temp(Store->AddrDst);
+        Cmp.B = Operand::temp(ExprAddr);
+        unsigned CmpDst = Cmp.Dst;
+        Operand StoredVal = Store->A;
+        Blk->insertAfter(Pos++, std::move(Cmp));
+        Stmt Sel;
+        Sel.Kind = StmtKind::Assign;
+        Sel.Op = Opcode::Select;
+        Sel.Dst = C.Temp;
+        Sel.A = Operand::temp(CmpDst);
+        Sel.B = StoredVal;
+        Sel.C = Operand::temp(C.Temp);
+        Blk->insertAfter(Pos, std::move(Sel));
+        BI = F.numBlocks();
+        break;
+      }
+    }
+  }
+  // Invala-mode reuses: keep the load, retarget to the promoted temp with
+  // a checking flag, preserve the old temp via a copy.
+  for (const auto &R : Plan.InvalaReuses) {
+    unsigned OldDst = R.S->Dst;
+    R.S->Dst = R.Temp;
+    R.S->Flag = R.Flag;
+    R.S->AddrSrc = R.AddrSrc;
+    Stmt Copy;
+    Copy.Kind = StmtKind::Assign;
+    Copy.Op = Opcode::Copy;
+    Copy.Dst = OldDst;
+    Copy.A = Operand::temp(R.Temp);
+    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+      BasicBlock *Blk = F.block(BI);
+      for (size_t SI = 0; SI < Blk->size(); ++SI) {
+        if (Blk->stmt(SI) == R.S) {
+          Blk->insertAfter(SI, std::move(Copy));
+          BI = F.numBlocks();
+          break;
+        }
+      }
+    }
+  }
+  // Redundant loads become register copies in place: the promoted temp
+  // holds the version's value exactly here (checks may redefine it later,
+  // so uses must snapshot it at the original load point).
+  for (const auto &R : Plan.Reuses) {
+    Stmt *S = R.S;
+    S->Kind = StmtKind::Assign;
+    S->Op = Opcode::Copy;
+    S->A = Operand::temp(R.Temp);
+    S->B = Operand();
+    S->Ref = MemRef();
+    S->Flag = SpecFlag::None;
+    S->AddrDst = NoTemp;
+    S->AddrSrc = NoTemp;
+  }
+  F.recomputeCFG();
+}

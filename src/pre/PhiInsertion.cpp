@@ -1,0 +1,132 @@
+//===- PhiInsertion.cpp - Candidate collection and Φ-insertion ----------------===//
+//
+// Stage 1 of the staged SSAPRE pass (see PromotionContext.h): gather the
+// lexical promotion candidates in dominator preorder, record temp
+// definition sites, and place expression Φs at the iterated dominance
+// frontier of occurrences and constituent definitions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pre/PromotionContext.h"
+
+#include <algorithm>
+
+using namespace srp;
+using namespace srp::ir;
+using namespace srp::ssa;
+using namespace srp::pre;
+using namespace srp::pre::detail;
+
+void detail::computeTempDefs(PromotionContext &Ctx) {
+  Function &F = Ctx.F;
+  Ctx.TempDefBlock.assign(F.numTemps(), nullptr);
+  Ctx.TempDefCount.assign(F.numTemps(), 0);
+  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
+    BasicBlock *BB = F.block(BI);
+    for (size_t SI = 0; SI < BB->size(); ++SI) {
+      Stmt *S = BB->stmt(SI);
+      if (S->definesTemp()) {
+        Ctx.TempDefBlock[S->Dst] = BB;
+        ++Ctx.TempDefCount[S->Dst];
+      }
+    }
+  }
+}
+
+void detail::collectExpressions(PromotionContext &Ctx) {
+  Function &F = Ctx.F;
+  // Dominator-preorder statement order: walk dom tree, number statements.
+  std::vector<BasicBlock *> Stack{F.entry()};
+  std::vector<BasicBlock *> Order;
+  while (!Stack.empty()) {
+    BasicBlock *BB = Stack.back();
+    Stack.pop_back();
+    Order.push_back(BB);
+    auto Kids = Ctx.DT.children(BB);
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.push_back(*It);
+  }
+
+  for (BasicBlock *BB : Order) {
+    for (size_t SI = 0; SI < BB->size(); ++SI) {
+      Stmt *S = BB->stmt(SI);
+      if (!S->accessesMemory())
+        continue;
+      // Statements carrying speculation machinery from an earlier
+      // promotion pass (flags, st.a, saved chain pointers) are not
+      // occurrence candidates; the cleanup pass must leave them alone.
+      if (S->Flag != SpecFlag::None || S->StA || S->AddrSrc != NoTemp)
+        continue;
+      ExprInfo &E = Ctx.Exprs[ExprKey::of(S->Ref)];
+      if (E.Occs.empty()) {
+        E.Ref = S->Ref;
+        E.Constituents = Ctx.H.refObjects(S->Ref);
+        if (S->Ref.Index.isTemp())
+          E.IndexTemp = S->Ref.Index.getTemp();
+      }
+      Occurrence O;
+      O.S = S;
+      O.BB = BB;
+      O.OrderInBlock = static_cast<unsigned>(SI);
+      O.IsStore = S->isStore();
+      E.Occs.push_back(O);
+    }
+  }
+  // Occurrences are already in dominator preorder by construction.
+}
+
+bool detail::exprEligible(const PromotionContext &Ctx, const ExprInfo &E) {
+  bool HasLoad = false;
+  for (const Occurrence &O : E.Occs)
+    HasLoad |= !O.IsStore;
+  if (!HasLoad)
+    return false; // Only stores: nothing to promote (loads only, §5).
+  for (ObjectId Obj : E.Constituents)
+    if (Obj == InvalidObject)
+      return false;
+  // After a previous promotion pass, a temp can have several defining
+  // statements; expressions indexed by such a temp are skipped (the
+  // single-def assumption underlies the index-kill analysis in Rename
+  // and DownSafety).
+  if (E.IndexTemp != NoTemp && Ctx.TempDefCount[E.IndexTemp] > 1)
+    return false;
+  return true;
+}
+
+void detail::insertPhis(PromotionContext &Ctx, const ExprInfo &E,
+                        ExprWork &W) {
+  const DominatorTree &DT = Ctx.DT;
+  std::vector<BasicBlock *> Seeds;
+  auto AddSeed = [&](BasicBlock *BB) {
+    if (BB && DT.isReachable(BB) &&
+        std::find(Seeds.begin(), Seeds.end(), BB) == Seeds.end())
+      Seeds.push_back(BB);
+  };
+  for (const Occurrence &O : E.Occs)
+    AddSeed(O.BB);
+  for (size_t L = 0; L < E.Constituents.size(); ++L) {
+    ObjectId Obj = E.Constituents[L];
+    for (unsigned Ver = 0; Ver < Ctx.H.numVersions(Obj); ++Ver) {
+      const VersionOrigin &VO = Ctx.H.origin(Obj, Ver);
+      if (VO.K == VersionOrigin::Kind::RealDef ||
+          VO.K == VersionOrigin::Kind::Chi)
+        AddSeed(VO.BB);
+    }
+  }
+  if (E.IndexTemp != NoTemp && E.IndexTemp < Ctx.TempDefBlock.size())
+    AddSeed(Ctx.TempDefBlock[E.IndexTemp]);
+
+  W.PhiAtBlock.assign(Ctx.F.numBlocks(), ~0u);
+  for (BasicBlock *BB : DT.iteratedFrontier(Seeds)) {
+    ExprPhi Phi;
+    Phi.BB = BB;
+    Phi.Operands.assign(BB->preds().size(), ~0u);
+    Phi.Version = static_cast<unsigned>(W.Vers.size());
+    ExprVer V;
+    V.Kind = ExprVer::DefKind::Phi;
+    V.PhiId = static_cast<unsigned>(W.Phis.size());
+    W.Vers.push_back(V);
+    W.PhiAtBlock[BB->getId()] = static_cast<unsigned>(W.Phis.size());
+    W.Phis.push_back(Phi);
+  }
+}

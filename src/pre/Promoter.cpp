@@ -1,1529 +1,93 @@
-//===- Promoter.cpp - SSAPRE-based speculative register promotion ----------===//
+//===- Promoter.cpp - SSAPRE promotion orchestrator ---------------------------===//
+//
+// The per-function driver of the staged SSAPRE pass. The stages
+// themselves live in their own translation units (see PromotionContext.h
+// for the map); this file only sequences them, accumulates per-stage wall
+// time, and wires the optional AnalysisCache so dominators and loops are
+// computed once per function per pipeline instead of per promotion run.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pre/Promoter.h"
 
 #include "pre/CopyProp.h"
+#include "pre/PromotionContext.h"
 
-#include "ir/Printer.h"
 #include "ir/Verifier.h"
-#include "support/Error.h"
+#include "ssa/AnalysisCache.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
 
-#include <algorithm>
-#include <cassert>
-#include <map>
-#include <set>
+#include <optional>
 
 using namespace srp;
 using namespace srp::ir;
 using namespace srp::ssa;
 using namespace srp::pre;
+using namespace srp::pre::detail;
+
+PromotionStats detail::runPromotion(PromotionContext &Ctx,
+                                    StageTimings *Timings) {
+  StageTimings Local;
+  StageTimings &T = Timings ? *Timings : Local;
+  {
+    ScopedTimer ST(T.PhiInsertion);
+    Ctx.CanonData = Ctx.H.canonicalMap(
+        [&Ctx](const ChiRecord &Chi) { return Ctx.chiCollapsibleData(Chi); });
+    Ctx.CanonAddr = Ctx.H.canonicalMap(
+        [&Ctx](const ChiRecord &Chi) { return Ctx.chiCollapsibleAddr(Chi); });
+    computeTempDefs(Ctx);
+    collectExpressions(Ctx);
+  }
+  for (auto &[Key, E] : Ctx.Exprs) {
+    if (!exprEligible(Ctx, E))
+      continue;
+    ExprWork W;
+    {
+      ScopedTimer ST(T.PhiInsertion);
+      insertPhis(Ctx, E, W);
+    }
+    {
+      ScopedTimer ST(T.Rename);
+      renameExpression(Ctx, E, W);
+    }
+    {
+      ScopedTimer ST(T.DownSafety);
+      computeDownSafety(Ctx, E, W);
+    }
+    {
+      ScopedTimer ST(T.WillBeAvail);
+      computeWillBeAvail(Ctx, E, W);
+    }
+    {
+      ScopedTimer ST(T.CodeMotion);
+      planCodeMotion(Ctx, E, W);
+    }
+  }
+  {
+    ScopedTimer ST(T.Apply);
+    applyPlan(Ctx);
+  }
+  {
+    ScopedTimer ST(T.Cleanup);
+    cleanupChecks(Ctx);
+  }
+  return Ctx.Stats;
+}
 
 namespace {
 
-/// Grouping key of a lexical expression (one promotion candidate).
-struct ExprKey {
-  unsigned BaseId;
-  unsigned Depth;
-  int IndexKind; // 0 none, 1 temp, 2 const
-  uint64_t IndexVal;
-  int64_t Offset;
-  uint8_t ValueType;
-
-  static ExprKey of(const MemRef &Ref) {
-    ExprKey K;
-    K.BaseId = Ref.Base->Id;
-    K.Depth = Ref.Depth;
-    switch (Ref.Index.K) {
-    case Operand::Kind::None:
-      K.IndexKind = 0;
-      K.IndexVal = 0;
-      break;
-    case Operand::Kind::Temp:
-      K.IndexKind = 1;
-      K.IndexVal = Ref.Index.TempId;
-      break;
-    case Operand::Kind::ConstInt:
-      K.IndexKind = 2;
-      K.IndexVal = static_cast<uint64_t>(Ref.Index.IntVal);
-      break;
-    case Operand::Kind::ConstFloat:
-      SRP_UNREACHABLE("float index");
-    }
-    K.Offset = Ref.Offset;
-    K.ValueType = static_cast<uint8_t>(Ref.ValueType);
-    return K;
-  }
-
-  bool operator<(const ExprKey &O) const {
-    return std::tie(BaseId, Depth, IndexKind, IndexVal, Offset, ValueType) <
-           std::tie(O.BaseId, O.Depth, O.IndexKind, O.IndexVal, O.Offset,
-                    O.ValueType);
-  }
-};
-
-/// One real occurrence (a load or store of the expression).
-struct Occurrence {
-  Stmt *S = nullptr;
-  BasicBlock *BB = nullptr;
-  unsigned OrderInBlock = 0; ///< statement position at analysis time
-  bool IsStore = false;
-
-  // Filled by Rename:
-  unsigned Version = ~0u;      ///< ExprVer id this occurrence uses/defines.
-  bool Redundant = false;      ///< uses an existing version
-  bool RawEqual = false;       ///< redundant with identical raw versions
-};
-
-/// Expression version created by Rename (a "hypothetical temporary"
-/// version in the paper's terms).
-struct ExprVer {
-  enum class DefKind : uint8_t { Real, Phi };
-  DefKind Kind = DefKind::Real;
-  unsigned DefOcc = ~0u;  ///< Real: index into Occs.
-  unsigned PhiId = ~0u;   ///< Phi: index into Phis.
-  std::vector<unsigned> CanonSig; ///< canonical constituent versions
-  std::vector<unsigned> RawSig;   ///< raw constituent versions
-  bool HasRealUse = false;
-  /// Real versions created by a load that matched a Φ version: when the
-  /// Φ cannot be materialized, this occurrence anchors later reuses
-  /// (SSAPRE's reload-from-first-occurrence behaviour).
-  unsigned RefinesVer = ~0u;
-};
-
-/// Expression Φ (capital-Φ in SSAPRE).
-struct ExprPhi {
-  BasicBlock *BB = nullptr;
-  unsigned Version = ~0u;             ///< ExprVer id it defines.
-  std::vector<unsigned> Operands;     ///< ExprVer id or ~0u (⊥); by pred.
-  bool DownSafe = false;
-  bool CanBeAvail = true;
-  bool Later = true;
-  bool Unprofitable = false;
-
-  bool willBeAvail() const { return CanBeAvail && !Later && !Unprofitable; }
-};
-
-/// A planned mutation, applied after all analysis.
-struct MutationPlan {
-  // Edge insertions: load of the expression at the end of From (or a
-  // split block) on edge From->To.
-  struct EdgeInsert {
-    BasicBlock *From;
-    BasicBlock *To;
-    MemRef Ref;
-    unsigned Temp;
-    unsigned AddrTemp; ///< NoTemp if unused
-    SpecFlag Flag;
-  };
-  // Rewrites of defining loads: retarget Dst to Temp, set flag/addr, and
-  // add `<oldDst> = copy Temp` after.
-  struct DefLoadRewrite {
-    Stmt *S;
-    unsigned Temp;
-    unsigned AddrTemp;
-    SpecFlag Flag;
-  };
-  // After a defining store: st.a marking or an extra ld.a / plain copy.
-  struct DefStoreRewrite {
-    Stmt *S;
-    MemRef Ref;
-    unsigned Temp;
-    unsigned AddrTemp;
-    bool UseStA;
-    bool NeedAlat; ///< otherwise a plain copy of the stored value
-  };
-  // Redundant load elimination: erase S, map Dst to Temp.
-  struct ReuseRewrite {
-    Stmt *S;
-    unsigned Temp;
-  };
-  // In-place checking reuse: keep the load but turn it into a checking
-  // load writing Temp (invala mode and the ChecksAtReuse placement).
-  struct InvalaReuse {
-    Stmt *S;
-    unsigned Temp;
-    SpecFlag Flag = SpecFlag::LdCnc;
-    unsigned AddrSrc = NoTemp;
-  };
-  // ALAT check statement after a store.
-  struct CheckInsert {
-    Stmt *After;
-    MemRef Ref;
-    unsigned Temp;
-    unsigned AddrTemp; ///< address source; NoTemp to re-walk the chain
-    bool Cascade;      ///< chk.a (recovery) instead of ld.c
-  };
-  // Software compare+forward after a store.
-  struct SoftwareCheckInsert {
-    Stmt *After;       ///< the aliasing store
-    unsigned Temp;     ///< promoted temp to conditionally overwrite
-    unsigned ExprAddrTemp; ///< temp holding the expression's address
-    bool ExprAddrIsChainPtr = false; ///< indirect: holds chain pointer
-    int64_t ExtraOffset = 0;         ///< constant index*8 + offset
-  };
-  struct InvalaInsert {
-    BasicBlock *BB; ///< inserted at block start
-    unsigned Temp;
-  };
-
-  std::vector<EdgeInsert> EdgeInserts;
-  std::vector<DefLoadRewrite> DefLoads;
-  std::vector<DefStoreRewrite> DefStores;
-  std::vector<ReuseRewrite> Reuses;
-  std::vector<InvalaReuse> InvalaReuses;
-  std::vector<CheckInsert> Checks;
-  std::vector<SoftwareCheckInsert> SoftwareChecks;
-  std::vector<InvalaInsert> Invalas;
-  // Direct-ref expressions needing an address temp materialized at entry.
-  struct AddrMaterialize {
-    MemRef Ref;
-    unsigned Temp;
-  };
-  std::vector<AddrMaterialize> AddrMats;
-};
-
-/// Analysis and planning for one function.
-class FunctionPromoter {
-public:
-  FunctionPromoter(Function &F, const alias::AliasAnalysis &AA,
-                   const interp::AliasProfile *Profile,
-                   const interp::EdgeProfile *Edges,
-                   const PromotionConfig &Config)
-      : F(F), AA(AA), Profile(Profile), Edges(Edges), Config(Config),
-        DT(F), LI(DT), H(F, DT, AA, Profile) {}
-
-  PromotionStats run();
-
-private:
-  struct ExprInfo {
-    MemRef Ref;
-    std::vector<Occurrence> Occs; ///< dominator-preorder sorted
-    std::vector<ObjectId> Constituents; ///< level objects, base first
-    unsigned IndexTemp = NoTemp;
-  };
-
-  bool chiCollapsibleData(const ChiRecord &Chi) const;
-  bool chiCollapsibleAddr(const ChiRecord &Chi) const;
-
-  void collectExpressions();
-  void computeTempDefs();
-  void processExpression(ExprInfo &E);
-
-  std::vector<unsigned> canonSigAt(const ExprInfo &E,
-                                   const std::vector<unsigned> &Raw) const;
-  std::vector<unsigned> rawSigAtEntry(const ExprInfo &E,
-                                      BasicBlock *BB) const;
-  std::vector<unsigned> rawSigAtExit(const ExprInfo &E,
-                                     BasicBlock *BB) const;
-  std::vector<unsigned> rawSigOfOcc(const ExprInfo &E,
-                                    const Occurrence &O) const;
-
-  /// Collects every collapsible χ on the version-collapse chain from
-  /// \p FromVer down to the nearest *capture points* (\p StopVers: raw
-  /// versions at saved defs and edge insertions) of \p Obj — these are
-  /// exactly the stores the reuse is speculated across and therefore the
-  /// places check statements must follow. φs fan out into all arguments;
-  /// φs pinned to themselves (real merges) and non-collapsible χs end a
-  /// chain.
-  void collectCrossedChis(ssa::ObjectId Obj, unsigned FromVer,
-                          const std::set<unsigned> &StopVers,
-                          bool DataLevel,
-                          std::vector<const ssa::ChiRecord *> &Out) const;
-
-  void applyPlan();
-  BasicBlock *insertionBlockFor(BasicBlock *From, BasicBlock *To);
-  void cleanupChecks();
-
-  Function &F;
-  const alias::AliasAnalysis &AA;
-  const interp::AliasProfile *Profile;
-  const interp::EdgeProfile *Edges;
-  const PromotionConfig &Config;
-  DominatorTree DT;
-  LoopInfo LI;
-  HSSA H;
-
-  std::vector<std::vector<unsigned>> CanonData; ///< strategy collapse
-  std::vector<std::vector<unsigned>> CanonAddr; ///< cascade collapse
-  std::map<ExprKey, ExprInfo> Exprs;
-  std::vector<BasicBlock *> TempDefBlock; ///< by temp id; null if no def
-  std::vector<unsigned> TempDefCount;     ///< defs per temp
-  MutationPlan Plan;
-  PromotionStats Stats;
-  std::map<std::pair<BasicBlock *, BasicBlock *>, BasicBlock *> SplitBlocks;
-  /// Promoted temps with their expression ref, for the cleanup pass.
-  std::vector<std::pair<unsigned, bool>> PromotedTemps; ///< (temp, indirect)
-};
-
-bool FunctionPromoter::chiCollapsibleData(const ChiRecord &Chi) const {
-  if (!Chi.S || !Chi.S->isStore())
-    return false; // Calls always end a version.
-  if (Config.EnableAlat && Chi.Spec)
-    return true;
-  return Config.EnableSoftwareCheck;
-}
-
-bool FunctionPromoter::chiCollapsibleAddr(const ChiRecord &Chi) const {
-  // Address parts may only be speculated with chk.a recovery (§2.4).
-  return Config.EnableAlat && Config.EnableCascade && Chi.S &&
-         Chi.S->isStore() && Chi.Spec;
-}
-
-void FunctionPromoter::collectExpressions() {
-  // Dominator-preorder statement order: walk dom tree, number statements.
-  std::map<const Stmt *, unsigned> Preorder;
-  unsigned Counter = 0;
-  std::vector<BasicBlock *> Stack{F.entry()};
-  std::vector<BasicBlock *> Order;
-  while (!Stack.empty()) {
-    BasicBlock *BB = Stack.back();
-    Stack.pop_back();
-    Order.push_back(BB);
-    for (size_t SI = 0; SI < BB->size(); ++SI)
-      Preorder[BB->stmt(SI)] = Counter++;
-    auto Kids = DT.children(BB);
-    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
-      Stack.push_back(*It);
-  }
-
-  for (BasicBlock *BB : Order) {
-    for (size_t SI = 0; SI < BB->size(); ++SI) {
-      Stmt *S = BB->stmt(SI);
-      if (!S->accessesMemory())
-        continue;
-      // Statements carrying speculation machinery from an earlier
-      // promotion pass (flags, st.a, saved chain pointers) are not
-      // occurrence candidates; the cleanup pass must leave them alone.
-      if (S->Flag != SpecFlag::None || S->StA || S->AddrSrc != NoTemp)
-        continue;
-      ExprInfo &E = Exprs[ExprKey::of(S->Ref)];
-      if (E.Occs.empty()) {
-        E.Ref = S->Ref;
-        E.Constituents = H.refObjects(S->Ref);
-        if (S->Ref.Index.isTemp())
-          E.IndexTemp = S->Ref.Index.getTemp();
-      }
-      Occurrence O;
-      O.S = S;
-      O.BB = BB;
-      O.OrderInBlock = static_cast<unsigned>(SI);
-      O.IsStore = S->isStore();
-      E.Occs.push_back(O);
-    }
-  }
-  // Occurrences are already in dominator preorder by construction.
-}
-
-void FunctionPromoter::computeTempDefs() {
-  TempDefBlock.assign(F.numTemps(), nullptr);
-  TempDefCount.assign(F.numTemps(), 0);
-  for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-    BasicBlock *BB = F.block(BI);
-    for (size_t SI = 0; SI < BB->size(); ++SI) {
-      Stmt *S = BB->stmt(SI);
-      if (S->definesTemp()) {
-        TempDefBlock[S->Dst] = BB;
-        ++TempDefCount[S->Dst];
-      }
-    }
-  }
-}
-
-std::vector<unsigned>
-FunctionPromoter::canonSigAt(const ExprInfo &E,
-                             const std::vector<unsigned> &Raw) const {
-  std::vector<unsigned> Sig(Raw.size());
-  for (size_t L = 0; L < Raw.size(); ++L) {
-    ObjectId Obj = E.Constituents[L];
-    bool IsData = L + 1 == Raw.size();
-    Sig[L] = IsData ? CanonData[Obj][Raw[L]] : CanonAddr[Obj][Raw[L]];
-  }
-  return Sig;
-}
-
-std::vector<unsigned> FunctionPromoter::rawSigAtEntry(const ExprInfo &E,
-                                                      BasicBlock *BB) const {
-  std::vector<unsigned> Raw;
-  Raw.reserve(E.Constituents.size());
-  for (ObjectId Obj : E.Constituents)
-    Raw.push_back(H.versionAtEntry(BB, Obj));
-  return Raw;
-}
-
-std::vector<unsigned> FunctionPromoter::rawSigAtExit(const ExprInfo &E,
-                                                     BasicBlock *BB) const {
-  std::vector<unsigned> Raw;
-  Raw.reserve(E.Constituents.size());
-  for (ObjectId Obj : E.Constituents)
-    Raw.push_back(H.versionAtExit(BB, Obj));
-  return Raw;
-}
-
-std::vector<unsigned>
-FunctionPromoter::rawSigOfOcc(const ExprInfo &E, const Occurrence &O) const {
-  const StmtAccess *Acc = H.accessInfo(O.S);
-  assert(Acc && "occurrence without access info");
-  std::vector<unsigned> Raw = Acc->LevelVers;
-  if (O.IsStore)
-    Raw.back() = Acc->DefVer; // A store provides the version it defines.
-  return Raw;
-}
-
-void FunctionPromoter::processExpression(ExprInfo &E) {
-  bool HasLoad = false;
-  for (const Occurrence &O : E.Occs)
-    HasLoad |= !O.IsStore;
-  if (!HasLoad)
-    return; // Only stores: nothing to promote (loads only, §5).
-  for (ObjectId Obj : E.Constituents)
-    if (Obj == InvalidObject)
-      return;
-  // After a previous promotion pass, a temp can have several defining
-  // statements; expressions indexed by such a temp are skipped (the
-  // single-def assumption underlies the index-kill analysis below).
-  if (E.IndexTemp != NoTemp && TempDefCount[E.IndexTemp] > 1)
-    return;
-
-  //===--------------------------------------------------------------===//
-  // Step 1: Φ-insertion.
-  //===--------------------------------------------------------------===//
-  std::vector<BasicBlock *> Seeds;
-  auto AddSeed = [&](BasicBlock *BB) {
-    if (BB && DT.isReachable(BB) &&
-        std::find(Seeds.begin(), Seeds.end(), BB) == Seeds.end())
-      Seeds.push_back(BB);
-  };
-  for (const Occurrence &O : E.Occs)
-    AddSeed(O.BB);
-  for (size_t L = 0; L < E.Constituents.size(); ++L) {
-    ObjectId Obj = E.Constituents[L];
-    for (unsigned Ver = 0; Ver < H.numVersions(Obj); ++Ver) {
-      const VersionOrigin &VO = H.origin(Obj, Ver);
-      if (VO.K == VersionOrigin::Kind::RealDef ||
-          VO.K == VersionOrigin::Kind::Chi)
-        AddSeed(VO.BB);
-    }
-  }
-  if (E.IndexTemp != NoTemp && E.IndexTemp < TempDefBlock.size())
-    AddSeed(TempDefBlock[E.IndexTemp]);
-
-  std::vector<ExprPhi> Phis;
-  std::vector<unsigned> PhiAtBlock(F.numBlocks(), ~0u);
-  std::vector<ExprVer> Vers;
-  for (BasicBlock *BB : DT.iteratedFrontier(Seeds)) {
-    ExprPhi Phi;
-    Phi.BB = BB;
-    Phi.Operands.assign(BB->preds().size(), ~0u);
-    Phi.Version = static_cast<unsigned>(Vers.size());
-    ExprVer V;
-    V.Kind = ExprVer::DefKind::Phi;
-    V.PhiId = static_cast<unsigned>(Phis.size());
-    Vers.push_back(V);
-    PhiAtBlock[BB->getId()] = static_cast<unsigned>(Phis.size());
-    Phis.push_back(Phi);
-  }
-
-  //===--------------------------------------------------------------===//
-  // Step 2: Rename (speculative: canonical-version comparison).
-  //===--------------------------------------------------------------===//
-  // Occurrences grouped by block, in block order.
-  std::map<BasicBlock *, std::vector<unsigned>> BlockOccs;
-  for (unsigned OI = 0; OI < E.Occs.size(); ++OI)
-    BlockOccs[E.Occs[OI].BB].push_back(OI);
-
-  struct StackEntry {
-    unsigned Ver;
-  };
-  std::vector<StackEntry> Stack;
-
-  // Recursive dominator walk (explicit stack of work items).
-  struct WalkFrame {
-    BasicBlock *BB;
-    size_t ChildIdx;
-    size_t StackMark;
-  };
-  std::vector<WalkFrame> Walk;
-  Walk.push_back({F.entry(), 0, 0});
-
-  bool EnteringNew = true;
-  while (!Walk.empty()) {
-    WalkFrame &Frame = Walk.back();
-    BasicBlock *BB = Frame.BB;
-    if (EnteringNew) {
-      Frame.StackMark = Stack.size();
-      // Φ definition.
-      unsigned PhiIdx = PhiAtBlock[BB->getId()];
-      if (PhiIdx != ~0u) {
-        ExprPhi &Phi = Phis[PhiIdx];
-        ExprVer &V = Vers[Phi.Version];
-        V.RawSig = rawSigAtEntry(E, BB);
-        V.CanonSig = canonSigAt(E, V.RawSig);
-        Stack.push_back({Phi.Version});
-      }
-      // Real occurrences in block order.
-      auto OccIt = BlockOccs.find(BB);
-      if (OccIt != BlockOccs.end()) {
-        for (unsigned OI : OccIt->second) {
-          Occurrence &O = E.Occs[OI];
-          std::vector<unsigned> Raw = rawSigOfOcc(E, O);
-          std::vector<unsigned> Canon = canonSigAt(E, Raw);
-          if (!O.IsStore && !Stack.empty() &&
-              Vers[Stack.back().Ver].CanonSig == Canon) {
-            // Redundant (possibly speculatively).
-            unsigned TopVer = Stack.back().Ver;
-            O.Version = TopVer;
-            O.Redundant = true;
-            O.RawEqual = Vers[TopVer].RawSig == Raw;
-            Vers[TopVer].HasRealUse = true;
-            if (Vers[TopVer].Kind == ExprVer::DefKind::Phi) {
-              // Refinement: if the Φ cannot be materialized, this load
-              // stays and anchors the reuses after it.
-              ExprVer R;
-              R.Kind = ExprVer::DefKind::Real;
-              R.DefOcc = OI;
-              R.RawSig = std::move(Raw);
-              R.CanonSig = std::move(Canon);
-              R.RefinesVer = TopVer;
-              Stack.push_back({static_cast<unsigned>(Vers.size())});
-              Vers.push_back(std::move(R));
-            }
-            continue;
-          }
-          // New version defined by this occurrence.
-          ExprVer V;
-          V.Kind = ExprVer::DefKind::Real;
-          V.DefOcc = OI;
-          V.RawSig = std::move(Raw);
-          V.CanonSig = std::move(Canon);
-          O.Version = static_cast<unsigned>(Vers.size());
-          Vers.push_back(std::move(V));
-          Stack.push_back({O.Version});
-        }
-      }
-      // Fill successor Φ operands.
-      std::vector<unsigned> ExitRaw = rawSigAtExit(E, BB);
-      std::vector<unsigned> ExitCanon = canonSigAt(E, ExitRaw);
-      for (BasicBlock *Succ : BB->succs()) {
-        unsigned SuccPhi = PhiAtBlock[Succ->getId()];
-        if (SuccPhi == ~0u)
-          continue;
-        ExprPhi &Phi = Phis[SuccPhi];
-        for (size_t PI = 0; PI < Succ->preds().size(); ++PI) {
-          if (Succ->preds()[PI] != BB)
-            continue;
-          if (!Stack.empty() &&
-              Vers[Stack.back().Ver].CanonSig == ExitCanon)
-            Phi.Operands[PI] = Stack.back().Ver;
-        }
-      }
-    }
-    // Descend into dominator-tree children.
-    const auto &Kids = DT.children(BB);
-    if (Frame.ChildIdx < Kids.size()) {
-      BasicBlock *Kid = Kids[Frame.ChildIdx++];
-      Walk.push_back({Kid, 0, 0});
-      EnteringNew = true;
-      continue;
-    }
-    Stack.resize(Frame.StackMark);
-    Walk.pop_back();
-    EnteringNew = false;
-  }
-
-
-
-  //===--------------------------------------------------------------===//
-  // Step 3: DownSafety via all-paths anticipation.
-  //===--------------------------------------------------------------===//
-  // TRANSP(B): no constituent changes canonically inside B, and the index
-  // temp is not defined in B. ANTLOC(B): a load occurrence whose canonical
-  // signature equals the block-entry signature.
-  unsigned NumBlocks = F.numBlocks();
-  std::vector<char> Transp(NumBlocks, 0), Antloc(NumBlocks, 0);
-  for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-    BasicBlock *BB = F.block(BI);
-    if (!DT.isReachable(BB))
-      continue;
-    std::vector<unsigned> EntryCanon = canonSigAt(E, rawSigAtEntry(E, BB));
-    std::vector<unsigned> ExitCanon = canonSigAt(E, rawSigAtExit(E, BB));
-    bool IndexDefHere =
-        E.IndexTemp != NoTemp && TempDefBlock[E.IndexTemp] == BB;
-    Transp[BI] = EntryCanon == ExitCanon && !IndexDefHere;
-    auto OccIt = BlockOccs.find(BB);
-    if (OccIt != BlockOccs.end())
-      for (unsigned OI : OccIt->second) {
-        const Occurrence &O = E.Occs[OI];
-        if (O.IsStore)
-          continue;
-        // An occurrence below the index temp's definition cannot be
-        // anticipated at block entry (the index is not yet computed).
-        if (IndexDefHere) {
-          bool DefSeen = false;
-          for (unsigned P = 0; P < O.OrderInBlock && P < BB->size(); ++P)
-            if (BB->stmt(P)->definesTemp() &&
-                BB->stmt(P)->Dst == E.IndexTemp)
-              DefSeen = true;
-          if (DefSeen)
-            continue;
-        }
-        if (canonSigAt(E, rawSigOfOcc(E, O)) == EntryCanon) {
-          Antloc[BI] = 1;
-          break;
-        }
-      }
-  }
-  std::vector<char> Antic(NumBlocks, 1);
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-      BasicBlock *BB = F.block(BI);
-      if (!DT.isReachable(BB))
-        continue;
-      char Out = BB->succs().empty() ? 0 : 1;
-      for (BasicBlock *Succ : BB->succs())
-        Out = Out && Antic[Succ->getId()];
-      char In = Antloc[BI] || (Transp[BI] && Out);
-      if (In != Antic[BI]) {
-        Antic[BI] = In;
-        Changed = true;
-      }
-    }
-  }
-  for (ExprPhi &Phi : Phis)
-    Phi.DownSafe = Antic[Phi.BB->getId()];
-  // Insertions driven by a Φ outside the index temp's dominance region
-  // would load through an undefined index; forbid them.
-  std::vector<char> PhiPinned(Phis.size(), 0);
-  if (E.IndexTemp != NoTemp && TempDefBlock[E.IndexTemp])
-    for (size_t PhiI = 0; PhiI < Phis.size(); ++PhiI)
-      if (!DT.dominates(TempDefBlock[E.IndexTemp], Phis[PhiI].BB)) {
-        Phis[PhiI].DownSafe = false;
-        Phis[PhiI].CanBeAvail = false;
-        PhiPinned[PhiI] = 1;
-      }
-
-  // Control speculation (§2.3): a non-down-safe Φ may still be allowed to
-  // insert (the Figure 3 ld.sa pattern) when the profile says the reuses
-  // outweigh the inserted executions, or — without a profile — when the Φ
-  // heads a loop that contains every reuse (classic invariant hoisting).
-  if (Config.EnableInsertion &&
-      (Config.EnableAlat || Config.EnableSoftwareCheck)) {
-    for (size_t PhiI = 0; PhiI < Phis.size(); ++PhiI) {
-      ExprPhi &Phi = Phis[PhiI];
-      if (Phi.DownSafe || PhiPinned[PhiI])
-        continue;
-      uint64_t Benefit = 0, Cost = 0;
-      bool AllUsesInLoop = true;
-      const LoopInfo::Loop *L = LI.loopFor(Phi.BB);
-      bool IsHeader = L && L->Header == Phi.BB;
-      unsigned Reuses = 0;
-      for (const Occurrence &O : E.Occs) {
-        if (!O.Redundant || O.Version != Phi.Version)
-          continue;
-        ++Reuses;
-        if (Edges)
-          Benefit += Edges->blockCount(O.BB);
-        if (!IsHeader || !L->contains(O.BB))
-          AllUsesInLoop = false;
-      }
-      if (Reuses == 0)
-        continue;
-      if (Edges) {
-        for (size_t PI = 0; PI < Phi.Operands.size(); ++PI)
-          if (Phi.Operands[PI] == ~0u)
-            Cost += Edges->edgeCount(Phi.BB->preds()[PI], Phi.BB);
-        if (Benefit > Cost)
-          Phi.DownSafe = true;
-      } else if (IsHeader && AllUsesInLoop) {
-        Phi.DownSafe = true;
-      }
-    }
-  }
-
-  //===--------------------------------------------------------------===//
-  // Step 4: WillBeAvail.
-  //===--------------------------------------------------------------===//
-  auto OperandCBA = [&](unsigned Op) {
-    if (Op == ~0u)
-      return false;
-    const ExprVer &V = Vers[Op];
-    if (V.Kind == ExprVer::DefKind::Phi)
-      return Phis[V.PhiId].CanBeAvail;
-    return true;
-  };
-  Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (ExprPhi &Phi : Phis) {
-      if (!Phi.CanBeAvail)
-        continue;
-      if (Phi.DownSafe)
-        continue;
-      for (unsigned Op : Phi.Operands) {
-        if (Op == ~0u || !OperandCBA(Op)) {
-          Phi.CanBeAvail = false;
-          Changed = true;
-          break;
-        }
-      }
-    }
-  }
-  // Later: an insertion is postponable unless some operand already carries
-  // a real value.
-  for (ExprPhi &Phi : Phis)
-    Phi.Later = Phi.CanBeAvail;
-  Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (ExprPhi &Phi : Phis) {
-      if (!Phi.Later)
-        continue;
-      for (unsigned Op : Phi.Operands) {
-        if (Op == ~0u)
-          continue;
-        const ExprVer &V = Vers[Op];
-        bool CarriesRealValue =
-            V.Kind == ExprVer::DefKind::Real || V.HasRealUse ||
-            (V.Kind == ExprVer::DefKind::Phi && !Phis[V.PhiId].Later);
-        if (CarriesRealValue) {
-          Phi.Later = false;
-          Changed = true;
-          break;
-        }
-      }
-    }
-  }
-  // Insertion disabled entirely?
-  if (!Config.EnableInsertion)
-    for (ExprPhi &Phi : Phis)
-      Phi.Unprofitable = true;
-  // Edge-profile profitability: an insertion that would execute more often
-  // than the loads it saves is rejected.
-  if (Edges && Config.EnableInsertion) {
-    for (ExprPhi &Phi : Phis) {
-      if (!Phi.willBeAvail())
-        continue;
-      uint64_t InsertCost = 0;
-      for (size_t PI = 0; PI < Phi.Operands.size(); ++PI) {
-        unsigned Op = Phi.Operands[PI];
-        bool NeedsInsert =
-            Op == ~0u || (Vers[Op].Kind == ExprVer::DefKind::Phi &&
-                          !Phis[Vers[Op].PhiId].willBeAvail());
-        if (NeedsInsert)
-          InsertCost += Edges->edgeCount(Phi.BB->preds()[PI], Phi.BB);
-      }
-      uint64_t Benefit = 0;
-      for (const Occurrence &O : E.Occs)
-        if (O.Redundant && O.Version == Phi.Version)
-          Benefit += Edges->blockCount(O.BB);
-      // Benefit through transitive Φs is ignored; this under-approximates
-      // but only ever rejects insertions, never miscompiles.
-      if (InsertCost > Benefit)
-        Phi.Unprofitable = true;
-    }
-  }
-
-  //===--------------------------------------------------------------===//
-  // Step 5: CodeMotion planning.
-  //===--------------------------------------------------------------===//
-  bool Indirect = E.Ref.isIndirect();
-
-  // Which versions are available (def real, or def Φ that will be avail)?
-  auto VersionAvailable = [&](unsigned Ver) {
-    const ExprVer &V = Vers[Ver];
-    if (V.Kind == ExprVer::DefKind::Real)
-      return true;
-    return Phis[V.PhiId].willBeAvail();
-  };
-
-  //===--------------------------------------------------------------===//
-  // Phase A: tentative rewrites and capture points.
-  //===--------------------------------------------------------------===//
-  // A redundant load whose version is available will be rewritten; one
-  // that is not may still become an invala-mode checking load (Figure 2).
-  std::vector<unsigned> AvailReuses;
-  std::vector<unsigned> InvalaOccs;
-  std::set<unsigned> InvalaPhiVers;
-  std::set<unsigned> SavedVersions;
-  for (unsigned OI = 0; OI < E.Occs.size(); ++OI) {
-    Occurrence &O = E.Occs[OI];
-    if (!O.Redundant)
-      continue;
-    if (VersionAvailable(O.Version)) {
-      AvailReuses.push_back(OI);
-      SavedVersions.insert(O.Version);
-      continue;
-    }
-    // Figure 2 strategy: only for scalar refs — the checking load's
-    // address must be the same at every execution for the ALAT entry to
-    // mean anything.
-    if (Config.EnableAlat && Config.UseInvala && !Indirect &&
-        !O.IsStore && !E.Ref.hasIndex()) {
-      InvalaOccs.push_back(OI);
-      InvalaPhiVers.insert(O.Version);
-      SavedVersions.insert(O.Version);
-    }
-  }
-  if (AvailReuses.empty() && InvalaOccs.empty())
-    return;
-
-  // Transitive closure: a saved Φ version saves its operands (invala-mode
-  // Φs included, so their defining loads get ld.a flags).
-  Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (const ExprPhi &Phi : Phis) {
-      if (!SavedVersions.count(Phi.Version))
-        continue;
-      if (!Phi.willBeAvail() && !InvalaPhiVers.count(Phi.Version))
-        continue;
-      for (unsigned Op : Phi.Operands)
-        if (Op != ~0u && SavedVersions.insert(Op).second)
-          Changed = true;
-    }
-  }
-
-  // Planned edge insertions (needed now: they are capture points too).
-  struct PlannedInsert {
-    const ExprPhi *Phi;
-    size_t OperandIdx;
-  };
-  std::vector<PlannedInsert> Inserts;
-  for (const ExprPhi &Phi : Phis) {
-    if (!Phi.willBeAvail())
-      continue;
-    if (!SavedVersions.count(Phi.Version) && !Vers[Phi.Version].HasRealUse)
-      continue;
-    for (size_t PI = 0; PI < Phi.Operands.size(); ++PI) {
-      unsigned Op = Phi.Operands[PI];
-      bool NeedsInsert =
-          Op == ~0u || (Vers[Op].Kind == ExprVer::DefKind::Phi &&
-                        !Phis[Vers[Op].PhiId].willBeAvail());
-      if (NeedsInsert)
-        Inserts.push_back({&Phi, PI});
-    }
-  }
-
-  // A refinement version whose Φ materializes is superseded: the promoted
-  // temp already carries the value there, so its defining occurrence is
-  // an ordinary reuse, not a capture point.
-  auto RefinementSuperseded = [&](const ExprVer &V) {
-    return V.RefinesVer != ~0u &&
-           Vers[V.RefinesVer].Kind == ExprVer::DefKind::Phi &&
-           Phis[Vers[V.RefinesVer].PhiId].willBeAvail();
-  };
-
-  // Capture points per level: raw versions at which the promoted temp is
-  // (re)written with the expression's value — saved real defs (not
-  // superseded refinements), edge insertions, and invala-mode checking
-  // loads.
-  std::vector<std::set<unsigned>> StopVers(E.Constituents.size());
-  auto AddStops = [&](const std::vector<unsigned> &Raw) {
-    for (size_t L = 0; L < Raw.size(); ++L)
-      StopVers[L].insert(Raw[L]);
-  };
-  for (unsigned Ver : SavedVersions)
-    if (Vers[Ver].Kind == ExprVer::DefKind::Real &&
-        !RefinementSuperseded(Vers[Ver]))
-      AddStops(Vers[Ver].RawSig);
-  for (const PlannedInsert &PI : Inserts)
-    AddStops(rawSigAtExit(E, PI.Phi->BB->preds()[PI.OperandIdx]));
-  for (unsigned OI : InvalaOccs)
-    AddStops(rawSigOfOcc(E, E.Occs[OI]));
-
-  //===--------------------------------------------------------------===//
-  // Phase B: per-reuse crossed-χ analysis and check planning.
-  //===--------------------------------------------------------------===//
-  std::vector<const ChiRecord *> AlatChecks, SoftChecks;
-  std::vector<char> RewriteOcc(E.Occs.size(), 0);
-  struct CheckReuseOcc {
-    unsigned OI;
-    SpecFlag Flag;
-  };
-  std::vector<CheckReuseOcc> CheckReuseOccs;
-  bool NeedCascadeAny = false;
-  for (unsigned OI : AvailReuses) {
-    Occurrence &O = E.Occs[OI];
-    std::vector<unsigned> ReuseRaw = rawSigOfOcc(E, O);
-    std::vector<const ChiRecord *> OccAlat, OccSoft;
-    bool OccCascade = false;
-    bool Feasible = true;
-    for (size_t L = 0; L < ReuseRaw.size() && Feasible; ++L) {
-      bool IsData = L + 1 == ReuseRaw.size();
-      ObjectId Obj = E.Constituents[L];
-      std::vector<const ChiRecord *> Crossed;
-      collectCrossedChis(Obj, ReuseRaw[L], StopVers[L], IsData, Crossed);
-      for (const ChiRecord *Chi : Crossed) {
-        if (!IsData) {
-          OccCascade = true;
-          OccAlat.push_back(Chi);
-          continue;
-        }
-        if (Config.EnableAlat && Chi->Spec) {
-          OccAlat.push_back(Chi);
-        } else if (Config.EnableSoftwareCheck &&
-                   (E.Ref.ValueType == TypeKind::Float ||
-                    Config.SoftwareCheckIntExprs) &&
-                   Chi->S->Ref.ValueType == E.Ref.ValueType &&
-                   !OccCascade && !E.Ref.Index.isTemp()) {
-          OccSoft.push_back(Chi);
-        } else {
-          Feasible = false;
-          break;
-        }
-      }
-    }
-    if (OccSoft.size() > Config.SoftwareMaxChecks)
-      Feasible = false;
-    // Cascade recovery reloads one chain pointer plus the data (Figure
-    // 4); deeper chains would need nested recoveries.
-    if (OccCascade && (!Config.EnableCascade || E.Ref.Depth != 1))
-      Feasible = false;
-    if (!Feasible)
-      continue;
-    // Figure-1-style placement: the reuse load itself becomes the check;
-    // no after-store statements are needed for its ALAT χs. Software
-    // pairs remain after-store (the compare needs the store's address).
-    if (Config.ChecksAtReuse && !OccAlat.empty() && OccSoft.empty() &&
-        !O.IsStore) {
-      CheckReuseOccs.push_back(
-          {OI, OccCascade ? SpecFlag::ChkAnc : SpecFlag::LdCnc});
-      NeedCascadeAny |= OccCascade;
-      continue;
-    }
-    RewriteOcc[OI] = 1;
-    NeedCascadeAny |= OccCascade;
-    for (const ChiRecord *Chi : OccAlat)
-      if (std::find(AlatChecks.begin(), AlatChecks.end(), Chi) ==
-          AlatChecks.end())
-        AlatChecks.push_back(Chi);
-    for (const ChiRecord *Chi : OccSoft)
-      if (std::find(SoftChecks.begin(), SoftChecks.end(), Chi) ==
-          SoftChecks.end())
-        SoftChecks.push_back(Chi);
-  }
-
-  bool AnyRewrite = !InvalaOccs.empty() || !CheckReuseOccs.empty();
-  for (unsigned OI : AvailReuses)
-    AnyRewrite |= RewriteOcc[OI] != 0;
-  if (!AnyRewrite)
-    return;
-
-  // Feasibility may have dropped every reuse of some version web; the
-  // insertions and def rewrites planned for those webs would be pure
-  // cost (inserted loads nobody consumes). A web is identified by the
-  // canonical signature, which crossed-χ walks never leave, so dropping
-  // whole unused webs cannot invalidate the capture analysis above.
-  std::set<std::vector<unsigned>> UsedWebs;
-  for (unsigned OI : AvailReuses)
-    if (RewriteOcc[OI])
-      UsedWebs.insert(Vers[E.Occs[OI].Version].CanonSig);
-  for (unsigned OI : InvalaOccs)
-    UsedWebs.insert(Vers[E.Occs[OI].Version].CanonSig);
-  for (const CheckReuseOcc &CR : CheckReuseOccs)
-    UsedWebs.insert(Vers[E.Occs[CR.OI].Version].CanonSig);
-  // Close over Φ operand edges: a kept Φ draws its value from operand
-  // versions whose canonical signatures can differ (the operand web is
-  // what the defining loads and insertions belong to).
-  Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (const ExprPhi &Phi : Phis) {
-      if (!UsedWebs.count(Vers[Phi.Version].CanonSig))
-        continue;
-      if (!Phi.willBeAvail() && !InvalaPhiVers.count(Phi.Version))
-        continue;
-      for (unsigned Op : Phi.Operands)
-        if (Op != ~0u &&
-            UsedWebs.insert(Vers[Op].CanonSig).second)
-          Changed = true;
-    }
-  }
-  {
-    std::vector<PlannedInsert> Kept;
-    for (const PlannedInsert &PI : Inserts)
-      if (UsedWebs.count(Vers[PI.Phi->Version].CanonSig))
-        Kept.push_back(PI);
-    Inserts = std::move(Kept);
-  }
-  {
-    std::set<unsigned> KeptSaved;
-    for (unsigned Ver : SavedVersions)
-      if (UsedWebs.count(Vers[Ver].CanonSig))
-        KeptSaved.insert(Ver);
-    SavedVersions = std::move(KeptSaved);
-  }
-
-  std::set<unsigned> InvalaOccSet(InvalaOccs.begin(), InvalaOccs.end());
-
-  ++Stats.PromotedExprs;
-  unsigned Temp = F.createTemp(E.Ref.ValueType);
-  unsigned AddrTemp = NoTemp;
-  bool NeedAlatAnywhere =
-      !AlatChecks.empty() || !InvalaOccs.empty() || !CheckReuseOccs.empty();
-  bool NeedSoftAnywhere = !SoftChecks.empty();
-  if (Indirect && (NeedAlatAnywhere || NeedSoftAnywhere))
-    AddrTemp = F.createTemp(TypeKind::Int);
-  unsigned ExprAddrTemp = NoTemp; // for software compares
-  if (NeedSoftAnywhere) {
-    if (Indirect) {
-      ExprAddrTemp = AddrTemp;
-    } else {
-      ExprAddrTemp = F.createTemp(TypeKind::Int);
-      Plan.AddrMats.push_back({E.Ref, ExprAddrTemp});
-    }
-  }
-  PromotedTemps.push_back({Temp, Indirect});
-
-  SpecFlag DefFlag = NeedAlatAnywhere ? SpecFlag::LdA : SpecFlag::None;
-  for (unsigned Ver : SavedVersions) {
-    const ExprVer &V = Vers[Ver];
-    if (V.Kind != ExprVer::DefKind::Real)
-      continue;
-    if (RefinementSuperseded(V))
-      continue;
-    // A refinement whose defining load was itself rewritten (as a reuse
-    // or an invala-mode check) already writes the temp.
-    if (V.RefinesVer != ~0u &&
-        (RewriteOcc[V.DefOcc] || InvalaOccSet.count(V.DefOcc)))
-      continue;
-    Occurrence &O = E.Occs[V.DefOcc];
-    if (O.IsStore) {
-      MutationPlan::DefStoreRewrite R;
-      R.S = O.S;
-      R.Ref = E.Ref;
-      R.Temp = Temp;
-      R.AddrTemp = AddrTemp;
-      R.UseStA = Config.UseStA && NeedAlatAnywhere;
-      R.NeedAlat = NeedAlatAnywhere;
-      Plan.DefStores.push_back(R);
-    } else {
-      MutationPlan::DefLoadRewrite R;
-      R.S = O.S;
-      R.Temp = Temp;
-      R.AddrTemp = AddrTemp;
-      R.Flag = DefFlag;
-      Plan.DefLoads.push_back(R);
-      if (DefFlag != SpecFlag::None)
-        ++Stats.AdvancedLoads;
-    }
-  }
-
-  // Φ-driven insertions (planned in Phase A as capture points).
-  for (const PlannedInsert &PI : Inserts) {
-    MutationPlan::EdgeInsert Ins;
-    Ins.From = PI.Phi->BB->preds()[PI.OperandIdx];
-    Ins.To = PI.Phi->BB;
-    Ins.Ref = E.Ref;
-    Ins.Temp = Temp;
-    Ins.AddrTemp = AddrTemp;
-    // Inserted loads are control-speculative; when the expression is
-    // also data-speculative this is the combined ld.sa (§2.3).
-    Ins.Flag = NeedAlatAnywhere ? SpecFlag::LdSA : SpecFlag::None;
-    Plan.EdgeInserts.push_back(Ins);
-    ++Stats.InsertedLoads;
-    if (Ins.Flag != SpecFlag::None)
-      ++Stats.AdvancedLoads;
-  }
-
-  // Reuse rewrites.
-  for (unsigned OI : AvailReuses) {
-    if (!RewriteOcc[OI])
-      continue;
-    Plan.Reuses.push_back({E.Occs[OI].S, Temp});
-    uint64_t Weight = Edges ? Edges->blockCount(E.Occs[OI].BB) : 1;
-    if (Indirect) {
-      ++Stats.LoadsRemovedIndirect;
-      Stats.DynLoadsRemovedIndirect += Weight;
-    } else {
-      ++Stats.LoadsRemovedDirect;
-      Stats.DynLoadsRemovedDirect += Weight;
-    }
-  }
-  for (const CheckReuseOcc &CR : CheckReuseOccs) {
-    MutationPlan::InvalaReuse R;
-    R.S = E.Occs[CR.OI].S;
-    R.Temp = Temp;
-    R.Flag = CR.Flag;
-    R.AddrSrc = Indirect ? AddrTemp : NoTemp;
-    Plan.InvalaReuses.push_back(R);
-    if (CR.Flag == SpecFlag::ChkAnc)
-      ++Stats.CascadeChecks;
-    else
-      ++Stats.ChecksInserted;
-  }
-  bool InvalaPlaced = false;
-  for (unsigned OI : InvalaOccs) {
-    MutationPlan::InvalaReuse R;
-    R.S = E.Occs[OI].S;
-    R.Temp = Temp;
-    Plan.InvalaReuses.push_back(R);
-    ++Stats.InvalaModeLoads;
-    if (!InvalaPlaced) {
-      // One invala.e at a point dominating the whole expression region
-      // (the entry block start always qualifies; see §2.3).
-      Plan.Invalas.push_back({F.entry(), Temp});
-      ++Stats.InvalaInserted;
-      InvalaPlaced = true;
-    }
-  }
-
-  // Check statements after the crossed stores.
-  std::set<const Stmt *> CheckAfterPlanned;
-  for (const ChiRecord *Chi : AlatChecks) {
-    if (!CheckAfterPlanned.insert(Chi->S).second)
-      continue;
-    MutationPlan::CheckInsert C;
-    C.After = const_cast<Stmt *>(Chi->S);
-    C.Ref = E.Ref;
-    C.Temp = Temp;
-    C.AddrTemp = AddrTemp;
-    C.Cascade = NeedCascadeAny;
-    Plan.Checks.push_back(C);
-    if (NeedCascadeAny)
-      ++Stats.CascadeChecks;
-    else
-      ++Stats.ChecksInserted;
-  }
-  for (const ChiRecord *Chi : SoftChecks) {
-    if (!CheckAfterPlanned.insert(Chi->S).second)
-      continue;
-    MutationPlan::SoftwareCheckInsert C;
-    C.After = const_cast<Stmt *>(Chi->S);
-    C.Temp = Temp;
-    C.ExprAddrTemp = ExprAddrTemp;
-    C.ExprAddrIsChainPtr = Indirect;
-    int64_t Extra = E.Ref.Offset;
-    if (E.Ref.Index.K == Operand::Kind::ConstInt)
-      Extra += E.Ref.Index.IntVal * 8;
-    C.ExtraOffset = Indirect ? Extra : 0;
-    Plan.SoftwareChecks.push_back(C);
-    ++Stats.SoftwareChecks;
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Mutation application
-//===----------------------------------------------------------------------===//
-
-void FunctionPromoter::collectCrossedChis(
-    ssa::ObjectId Obj, unsigned FromVer,
-    const std::set<unsigned> &StopVers, bool DataLevel,
-    std::vector<const ssa::ChiRecord *> &Out) const {
-  const auto &Canon = DataLevel ? CanonData[Obj] : CanonAddr[Obj];
-  std::set<unsigned> Visited;
-  std::vector<unsigned> Work{FromVer};
-  while (!Work.empty()) {
-    unsigned Ver = Work.back();
-    Work.pop_back();
-    if (!Visited.insert(Ver).second)
-      continue;
-    // A capture point ends the chain: the promoted temp was (re)written
-    // with the expression's value at a program point carrying this raw
-    // version, so χs at or above it are not between capture and reuse.
-    if (StopVers.count(Ver))
-      continue;
-    const VersionOrigin &O = H.origin(Obj, Ver);
-    switch (O.K) {
-    case VersionOrigin::Kind::Chi: {
-      const ChiRecord &Chi = H.chi(O.ChiIndex);
-      bool Collapsible =
-          DataLevel ? chiCollapsibleData(Chi) : chiCollapsibleAddr(Chi);
-      if (!Collapsible)
-        break; // Chain broken; nothing to speculate across here.
-      if (std::find(Out.begin(), Out.end(), &Chi) == Out.end())
-        Out.push_back(&Chi);
-      Work.push_back(Chi.UseVer);
-      break;
-    }
-    case VersionOrigin::Kind::Phi: {
-      // A φ pinned to itself is a real merge: values arriving here differ
-      // and the merge is not part of this version's collapse web.
-      if (Canon[Ver] == Ver)
-        break;
-      const auto &Phis2 = H.phisOf(O.BB);
-      if (O.PhiIndex < Phis2.size())
-        for (unsigned Arg : Phis2[O.PhiIndex].Args)
-          Work.push_back(Arg);
-      break;
-    }
-    case VersionOrigin::Kind::LiveIn:
-    case VersionOrigin::Kind::RealDef:
-      break;
-    }
-  }
-}
-
-BasicBlock *FunctionPromoter::insertionBlockFor(BasicBlock *From,
-                                                BasicBlock *To) {
-  if (From->succs().size() == 1)
-    return From;
-  auto Key = std::make_pair(From, To);
-  auto It = SplitBlocks.find(Key);
-  if (It != SplitBlocks.end())
-    return It->second;
-  BasicBlock *Split =
-      F.createBlock(From->getName() + "." + To->getName() + ".split");
-  Split->term().Kind = TermKind::Br;
-  Split->term().Target = To;
-  Terminator &T = From->term();
-  if (T.Target == To)
-    T.Target = Split;
-  if (T.Kind == TermKind::CondBr && T.FalseTarget == To)
-    T.FalseTarget = Split;
-  SplitBlocks[Key] = Split;
-  return Split;
-}
-
-
-void FunctionPromoter::applyPlan() {
-  // Edge insertions first (they create blocks; nothing else refers to
-  // statement positions in them).
-  for (const auto &Ins : Plan.EdgeInserts) {
-    BasicBlock *BB = insertionBlockFor(Ins.From, Ins.To);
-    Stmt S;
-    S.Kind = StmtKind::Load;
-    S.Ref = Ins.Ref;
-    S.Flag = Ins.Flag;
-    S.Dst = Ins.Temp;
-    S.AddrDst = Ins.AddrTemp;
-    BB->append(std::move(S));
-  }
-  // Address materializations for software compares on direct refs.
-  for (const auto &Mat : Plan.AddrMats) {
-    Stmt S;
-    S.Kind = StmtKind::AddrOf;
-    S.Ref = Mat.Ref;
-    S.Ref.Depth = 0;
-    S.Ref.ValueType = Mat.Ref.Base->ElemType;
-    S.Dst = Mat.Temp;
-    Mat.Ref.Base->AddressTaken = true;
-    F.entry()->insertBefore(0, std::move(S));
-  }
-  for (const auto &Inv : Plan.Invalas) {
-    Stmt S;
-    S.Kind = StmtKind::Invala;
-    S.Dst = Inv.Temp;
-    Inv.BB->insertBefore(0, std::move(S));
-  }
-  // Defining loads: retarget to the promoted temp, preserve the old temp
-  // via a copy.
-  for (const auto &R : Plan.DefLoads) {
-    unsigned OldDst = R.S->Dst;
-    R.S->Dst = R.Temp;
-    R.S->Flag = R.Flag;
-    R.S->AddrDst = R.AddrTemp;
-    Stmt Copy;
-    Copy.Kind = StmtKind::Assign;
-    Copy.Op = Opcode::Copy;
-    Copy.Dst = OldDst;
-    Copy.A = Operand::temp(R.Temp);
-    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-      BasicBlock *Blk = F.block(BI);
-      for (size_t SI = 0; SI < Blk->size(); ++SI) {
-        if (Blk->stmt(SI) == R.S) {
-          Blk->insertAfter(SI, std::move(Copy));
-          BI = F.numBlocks();
-          break;
-        }
-      }
-    }
-  }
-  // Defining stores.
-  for (const auto &R : Plan.DefStores) {
-    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-      BasicBlock *Blk = F.block(BI);
-      for (size_t SI = 0; SI < Blk->size(); ++SI) {
-        if (Blk->stmt(SI) != R.S)
-          continue;
-        // st.a only applies when the chain pointer coincides with the
-        // final store address (no index/offset): the store's exposed
-        // address then doubles as the checks' chain pointer.
-        bool StAApplicable =
-            R.Ref.isDirect() ||
-            (!R.Ref.hasIndex() && R.Ref.Offset == 0);
-        if (R.UseStA && R.NeedAlat && StAApplicable) {
-          R.S->StA = true;
-          R.S->AlatDst = R.Temp;
-          if (R.AddrTemp != NoTemp)
-            R.S->AddrDst = R.AddrTemp;
-          ++Stats.StAStores;
-          Stmt Copy;
-          Copy.Kind = StmtKind::Assign;
-          Copy.Op = Opcode::Copy;
-          Copy.Dst = R.Temp;
-          Copy.A = R.S->A;
-          Blk->insertAfter(SI, std::move(Copy));
-        } else if (R.NeedAlat) {
-          // The paper's read-after-write form: an explicit ld.a after the
-          // store secures the ALAT entry (Figure 1(b)). It re-walks the
-          // reference chain and exposes the chain pointer for the checks.
-          Stmt Ld;
-          Ld.Kind = StmtKind::Load;
-          Ld.Ref = R.Ref;
-          Ld.Flag = SpecFlag::LdA;
-          Ld.Dst = R.Temp;
-          Ld.AddrDst = R.AddrTemp;
-          Blk->insertAfter(SI, std::move(Ld));
-          ++Stats.AdvancedLoads;
-        } else {
-          Stmt Copy;
-          Copy.Kind = StmtKind::Assign;
-          Copy.Op = Opcode::Copy;
-          Copy.Dst = R.Temp;
-          Copy.A = R.S->A;
-          Blk->insertAfter(SI, std::move(Copy));
-        }
-        BI = F.numBlocks();
-        break;
-      }
-    }
-  }
-  // ALAT checks after speculatively ignored stores.
-  for (const auto &C : Plan.Checks) {
-    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-      BasicBlock *Blk = F.block(BI);
-      for (size_t SI = 0; SI < Blk->size(); ++SI) {
-        if (Blk->stmt(SI) != C.After)
-          continue;
-        Stmt S;
-        S.Kind = StmtKind::Load;
-        S.Ref = C.Ref;
-        S.Flag = C.Cascade ? SpecFlag::ChkAnc : SpecFlag::LdCnc;
-        S.Dst = C.Temp;
-        S.AddrSrc = C.AddrTemp;
-        Blk->insertAfter(SI, std::move(S));
-        BI = F.numBlocks();
-        break;
-      }
-    }
-  }
-  // Software compare+forward pairs. For indirect expressions the saved
-  // chain pointer needs the constant offset re-applied to give the final
-  // address (symbolic indices were excluded at planning time).
-  for (const auto &C : Plan.SoftwareChecks) {
-    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-      BasicBlock *Blk = F.block(BI);
-      for (size_t SI = 0; SI < Blk->size(); ++SI) {
-        Stmt *Store = Blk->stmt(SI);
-        if (Store != C.After)
-          continue;
-        if (Store->AddrDst == NoTemp)
-          Store->AddrDst = F.createTemp(TypeKind::Int);
-        size_t Pos = SI;
-        unsigned ExprAddr = C.ExprAddrTemp;
-        if (C.ExprAddrIsChainPtr && C.ExtraOffset != 0) {
-          Stmt AddExtra;
-          AddExtra.Kind = StmtKind::Assign;
-          AddExtra.Op = Opcode::Add;
-          AddExtra.Dst = F.createTemp(TypeKind::Int);
-          AddExtra.A = Operand::temp(C.ExprAddrTemp);
-          AddExtra.B = Operand::constInt(C.ExtraOffset);
-          ExprAddr = AddExtra.Dst;
-          Blk->insertAfter(Pos++, std::move(AddExtra));
-        }
-        Stmt Cmp;
-        Cmp.Kind = StmtKind::Assign;
-        Cmp.Op = Opcode::CmpEq;
-        Cmp.Dst = F.createTemp(TypeKind::Int);
-        Cmp.A = Operand::temp(Store->AddrDst);
-        Cmp.B = Operand::temp(ExprAddr);
-        unsigned CmpDst = Cmp.Dst;
-        Operand StoredVal = Store->A;
-        Blk->insertAfter(Pos++, std::move(Cmp));
-        Stmt Sel;
-        Sel.Kind = StmtKind::Assign;
-        Sel.Op = Opcode::Select;
-        Sel.Dst = C.Temp;
-        Sel.A = Operand::temp(CmpDst);
-        Sel.B = StoredVal;
-        Sel.C = Operand::temp(C.Temp);
-        Blk->insertAfter(Pos, std::move(Sel));
-        BI = F.numBlocks();
-        break;
-      }
-    }
-  }
-  // Invala-mode reuses: keep the load, retarget to the promoted temp with
-  // a checking flag, preserve the old temp via a copy.
-  for (const auto &R : Plan.InvalaReuses) {
-    unsigned OldDst = R.S->Dst;
-    R.S->Dst = R.Temp;
-    R.S->Flag = R.Flag;
-    R.S->AddrSrc = R.AddrSrc;
-    Stmt Copy;
-    Copy.Kind = StmtKind::Assign;
-    Copy.Op = Opcode::Copy;
-    Copy.Dst = OldDst;
-    Copy.A = Operand::temp(R.Temp);
-    for (unsigned BI = 0; BI < F.numBlocks(); ++BI) {
-      BasicBlock *Blk = F.block(BI);
-      for (size_t SI = 0; SI < Blk->size(); ++SI) {
-        if (Blk->stmt(SI) == R.S) {
-          Blk->insertAfter(SI, std::move(Copy));
-          BI = F.numBlocks();
-          break;
-        }
-      }
-    }
-  }
-  // Redundant loads become register copies in place: the promoted temp
-  // holds the version's value exactly here (checks may redefine it later,
-  // so uses must snapshot it at the original load point).
-  for (const auto &R : Plan.Reuses) {
-    Stmt *S = R.S;
-    S->Kind = StmtKind::Assign;
-    S->Op = Opcode::Copy;
-    S->A = Operand::temp(R.Temp);
-    S->B = Operand();
-    S->Ref = MemRef();
-    S->Flag = SpecFlag::None;
-    S->AddrDst = NoTemp;
-    S->AddrSrc = NoTemp;
-  }
-  F.recomputeCFG();
-}
-
-//===----------------------------------------------------------------------===//
-// Check cleanup
-//===----------------------------------------------------------------------===//
-
-/// Erases checks (ld.c family inserted after stores) whose promoted temp
-/// either has no reaching definition or no observable use afterwards.
-void FunctionPromoter::cleanupChecks() {
-  std::set<const Stmt *> Protected;
-  for (const auto &R : Plan.InvalaReuses)
-    Protected.insert(R.S);
-  for (const auto &TI : PromotedTemps) {
-    unsigned Temp = TI.first;
-    unsigned NumBlocks = F.numBlocks();
-    // A "definition" is any statement writing Temp that is not itself a
-    // check; a "use" is any read of Temp by a non-check statement.
-    auto IsCheck = [&](const Stmt *S) {
-      return S->isLoad() && isCheckFlag(S->Flag) && S->Dst == Temp &&
-             !Protected.count(S);
-    };
-    auto Defines = [&](const Stmt *S) {
-      return (S->definesTemp() && S->Dst == Temp) ||
-             (S->isStore() && S->AlatDst == Temp);
-    };
-    auto Uses = [&](const Stmt *S) {
-      std::vector<unsigned> Used;
-      S->collectUsedTemps(Used);
-      if (std::find(Used.begin(), Used.end(), Temp) != Used.end())
-        return true;
-      return false;
-    };
-    auto TermUses = [&](const Terminator &T) {
-      return (T.Cond.isTemp() && T.Cond.TempId == Temp) ||
-             (T.RetVal.isTemp() && T.RetVal.TempId == Temp);
-    };
-
-    // Forward "some def reaches" per block entry.
-    std::vector<char> DefReachIn(NumBlocks, 0), DefReachOut(NumBlocks, 0);
-    // Backward "some use is ahead before any def" per block exit.
-    std::vector<char> LiveIn(NumBlocks, 0), LiveOut(NumBlocks, 0);
-    // Per-block summaries.
-    std::vector<char> HasDef(NumBlocks, 0), UseBeforeDef(NumBlocks, 0);
-    for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-      BasicBlock *BB = F.block(BI);
-      bool SeenDef = false;
-      for (size_t SI = 0; SI < BB->size(); ++SI) {
-        const Stmt *S = BB->stmt(SI);
-        if (Uses(S) && !SeenDef && !IsCheck(S))
-          UseBeforeDef[BI] = 1;
-        if (Defines(S) && !IsCheck(S))
-          SeenDef = true;
-      }
-      if (TermUses(BB->term()) && !SeenDef)
-        UseBeforeDef[BI] = 1;
-      HasDef[BI] = SeenDef;
-    }
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-        BasicBlock *BB = F.block(BI);
-        char In = 0;
-        for (BasicBlock *Pred : BB->preds())
-          In |= DefReachOut[Pred->getId()];
-        char Out = HasDef[BI] | In;
-        if (In != DefReachIn[BI] || Out != DefReachOut[BI]) {
-          DefReachIn[BI] = In;
-          DefReachOut[BI] = Out;
-          Changed = true;
-        }
-      }
-    }
-    Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-        BasicBlock *BB = F.block(BI);
-        char Out = 0;
-        for (BasicBlock *Succ : BB->succs())
-          Out |= LiveIn[Succ->getId()];
-        char In = UseBeforeDef[BI] | Out; // Checks don't kill liveness.
-        if (In != LiveIn[BI] || Out != LiveOut[BI]) {
-          LiveIn[BI] = In;
-          LiveOut[BI] = Out;
-          Changed = true;
-        }
-      }
-    }
-
-    // Scan each block and erase dead checks.
-    for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-      BasicBlock *BB = F.block(BI);
-      for (size_t SI = 0; SI < BB->size();) {
-        Stmt *S = BB->stmt(SI);
-        if (!IsCheck(S)) {
-          ++SI;
-          continue;
-        }
-        // Def available before this check?
-        bool DefBefore = DefReachIn[BI];
-        for (size_t SJ = 0; SJ < SI; ++SJ)
-          if (Defines(BB->stmt(SJ)) && !IsCheck(BB->stmt(SJ)))
-            DefBefore = true;
-        // Use after this check before a non-check def?
-        bool UseAfter = false;
-        bool Killed = false;
-        for (size_t SJ = SI + 1; SJ < BB->size() && !Killed; ++SJ) {
-          const Stmt *S2 = BB->stmt(SJ);
-          if (Uses(S2)) {
-            UseAfter = true;
-            break;
-          }
-          if (Defines(S2) && !IsCheck(S2))
-            Killed = true;
-        }
-        if (!Killed && !UseAfter)
-          UseAfter = TermUses(BB->term()) || LiveOut[BI];
-        if (DefBefore && UseAfter) {
-          ++SI;
-          continue;
-        }
-        BB->erase(SI);
-        ++Stats.ChecksRemovedByCleanup;
-      }
-    }
-  }
-}
-
-PromotionStats FunctionPromoter::run() {
-  CanonData = H.canonicalMap(
-      [this](const ChiRecord &Chi) { return chiCollapsibleData(Chi); });
-  CanonAddr = H.canonicalMap(
-      [this](const ChiRecord &Chi) { return chiCollapsibleAddr(Chi); });
-  computeTempDefs();
-  collectExpressions();
-  for (auto &[Key, E] : Exprs)
-    processExpression(E);
-  applyPlan();
-  cleanupChecks();
-  return Stats;
+/// Records the per-stage wall time into the process-wide registry so
+/// `--stats` shows where promotion time goes across a whole run.
+void recordStageTimes(const StageTimings &T) {
+  StatsRegistry &R = StatsRegistry::get();
+  R.add("pre.phiinsertion.us", T.PhiInsertion);
+  R.add("pre.rename.us", T.Rename);
+  R.add("pre.downsafety.us", T.DownSafety);
+  R.add("pre.willbeavail.us", T.WillBeAvail);
+  R.add("pre.codemotion.us", T.CodeMotion);
+  R.add("pre.apply.us", T.Apply);
+  R.add("pre.cleanup.us", T.Cleanup);
 }
 
 } // namespace
@@ -1532,32 +96,50 @@ PromotionStats srp::pre::promoteFunction(ir::Function &F,
                                          const alias::AliasAnalysis &AA,
                                          const interp::AliasProfile *Profile,
                                          const interp::EdgeProfile *Edges,
-                                         const PromotionConfig &Config) {
+                                         const PromotionConfig &Config,
+                                         ssa::AnalysisCache *Cache) {
   F.recomputeCFG();
-  PromotionStats Stats;
-  {
-    FunctionPromoter P(F, AA, Profile, Edges, Config);
-    Stats = P.run();
-  }
-  propagateCopies(F);
-  F.recomputeCFG();
+  if (Cache)
+    Cache->invalidate(F); // CFG recompute renumbers blocks.
+  StageTimings Times;
+
+  // One promotion run with the given config, drawing dominators and loops
+  // from the cache when the caller provides one.
+  auto RunOnce = [&](const PromotionConfig &Cfg) {
+    std::optional<DominatorTree> LocalDT;
+    std::optional<LoopInfo> LocalLI;
+    const DominatorTree *DT;
+    const LoopInfo *LI;
+    if (Cache) {
+      DT = &Cache->dominators(F);
+      LI = &Cache->loops(F);
+    } else {
+      LocalDT.emplace(F);
+      LocalLI.emplace(*LocalDT);
+      DT = &*LocalDT;
+      LI = &*LocalLI;
+    }
+    PromotionContext Ctx(F, AA, Profile, Edges, Cfg, *DT, *LI);
+    PromotionStats S = runPromotion(Ctx, &Times);
+    // Promotion mutated the function: copies, splits, checks.
+    if (Cache)
+      Cache->invalidate(F);
+    propagateCopies(F);
+    F.recomputeCFG();
+    return S;
+  };
+
+  PromotionStats Stats = RunOnce(Config);
   // The strategy's optimistic canonical collapse can hide plain
   // (non-speculative) PRE arrangements when the run-time check mechanism
   // turns out infeasible for a reuse. A conservative cleanup pass picks
   // those up; it never speculates, so running it after any strategy is
-  // sound.
-  if (Config.EnableAlat || Config.EnableSoftwareCheck) {
-    // Materialised into a local: FunctionPromoter keeps a reference to
-    // its config, so a temporary here would dangle once run() executes.
-    const PromotionConfig Conservative = PromotionConfig::conservative();
-    FunctionPromoter Cleanup(F, AA, Profile, Edges, Conservative);
-    Stats += Cleanup.run();
-    // Coalesce the snapshot copies CodeMotion introduced (register
-    // allocators do this via coalescing; the simulated instruction
-    // stream should not pay for pseudo moves).
-    propagateCopies(F);
-    F.recomputeCFG();
-  }
+  // sound. (Coalescing the snapshot copies afterwards keeps the simulated
+  // instruction stream free of pseudo moves.)
+  if (Config.EnableAlat || Config.EnableSoftwareCheck)
+    Stats += RunOnce(PromotionConfig::conservative());
+
+  recordStageTimes(Times);
   // Promotion must leave well-formed IR behind; dying here (with the
   // function named) pins a verifier regression to the pass and function
   // that produced it instead of a later whole-module sweep.
@@ -1569,9 +151,11 @@ PromotionStats srp::pre::promoteModule(ir::Module &M,
                                        const alias::AliasAnalysis &AA,
                                        const interp::AliasProfile *Profile,
                                        const interp::EdgeProfile *Edges,
-                                       const PromotionConfig &Config) {
+                                       const PromotionConfig &Config,
+                                       ssa::AnalysisCache *Cache) {
   PromotionStats Total;
   for (unsigned I = 0; I < M.numFunctions(); ++I)
-    Total += promoteFunction(*M.function(I), AA, Profile, Edges, Config);
+    Total += promoteFunction(*M.function(I), AA, Profile, Edges, Config,
+                             Cache);
   return Total;
 }

@@ -39,23 +39,32 @@
 #include "pre/Promotion.h"
 #include "ssa/HSSA.h"
 
+namespace srp::ssa {
+class AnalysisCache;
+} // namespace srp::ssa
+
 namespace srp::pre {
 
 /// Runs promotion on one function. \p Profile supplies the alias profile
 /// (may be null: no data speculation) and \p Edges the block/edge counts
 /// for profitability (may be null: structural heuristics only).
+/// \p Cache, when given, supplies dominators and loop info and is
+/// invalidated for \p F after mutation; without one the analyses are
+/// computed locally.
 PromotionStats promoteFunction(ir::Function &F,
                                const alias::AliasAnalysis &AA,
                                const interp::AliasProfile *Profile,
                                const interp::EdgeProfile *Edges,
-                               const PromotionConfig &Config);
+                               const PromotionConfig &Config,
+                               ssa::AnalysisCache *Cache = nullptr);
 
 /// Runs promotion on every function of \p M and returns aggregate stats.
 /// Recomputes each function's CFG afterwards.
 PromotionStats promoteModule(ir::Module &M, const alias::AliasAnalysis &AA,
                              const interp::AliasProfile *Profile,
                              const interp::EdgeProfile *Edges,
-                             const PromotionConfig &Config);
+                             const PromotionConfig &Config,
+                             ssa::AnalysisCache *Cache = nullptr);
 
 } // namespace srp::pre
 

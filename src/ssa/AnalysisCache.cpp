@@ -1,0 +1,39 @@
+//===- AnalysisCache.cpp - Cached per-function analyses -----------------------===//
+
+#include "ssa/AnalysisCache.h"
+
+using namespace srp;
+using namespace srp::ssa;
+
+DominatorTree &AnalysisCache::dominators(ir::Function &F) {
+  Entry &E = Entries[&F];
+  if (!E.DT) {
+    ++Stats.Misses;
+    E.DT = std::make_unique<DominatorTree>(F);
+  } else {
+    ++Stats.Hits;
+  }
+  return *E.DT;
+}
+
+LoopInfo &AnalysisCache::loops(ir::Function &F) {
+  DominatorTree &DT = dominators(F);
+  Entry &E = Entries[&F];
+  if (!E.LI) {
+    ++Stats.Misses;
+    E.LI = std::make_unique<LoopInfo>(DT);
+  } else {
+    ++Stats.Hits;
+  }
+  return *E.LI;
+}
+
+void AnalysisCache::invalidate(ir::Function &F) {
+  auto It = Entries.find(&F);
+  if (It == Entries.end())
+    return;
+  ++Stats.Invalidations;
+  Entries.erase(It);
+}
+
+void AnalysisCache::clear() { Entries.clear(); }

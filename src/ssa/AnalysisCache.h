@@ -1,0 +1,67 @@
+//===- AnalysisCache.h - Cached per-function analyses -----------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-pipeline cache of the function analyses every pass used to
+/// recompute ad hoc: the dominator tree and the loop nest. The pass
+/// manager owns one cache per pipeline; analyses are computed on first
+/// request and reused until a mutating pass invalidates the function
+/// (passes that change the CFG or statement list must call invalidate).
+/// The cache is deliberately per-pipeline, never global: the parallel
+/// experiment driver runs one pipeline per worker thread, and a shared
+/// cache would either race or serialize them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SSA_ANALYSISCACHE_H
+#define SRP_SSA_ANALYSISCACHE_H
+
+#include "ssa/Dominators.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+namespace srp::ssa {
+
+/// Caches DominatorTree and LoopInfo per function. Not thread-safe by
+/// design (see file comment); each pipeline owns its own instance.
+class AnalysisCache {
+public:
+  /// Dominator tree of \p F, computed on first request. The reference is
+  /// stable until invalidate(F) or clear().
+  DominatorTree &dominators(ir::Function &F);
+
+  /// Loop nest of \p F (computes the dominator tree if needed).
+  LoopInfo &loops(ir::Function &F);
+
+  /// Drops cached analyses of \p F. Mutating passes must call this after
+  /// transforming the function (CFG recompute included).
+  void invalidate(ir::Function &F);
+
+  /// Drops everything.
+  void clear();
+
+  /// Cache effectiveness counters (observability, tested).
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Invalidations = 0;
+  };
+  const CacheStats &stats() const { return Stats; }
+
+private:
+  struct Entry {
+    std::unique_ptr<DominatorTree> DT;
+    std::unique_ptr<LoopInfo> LI;
+  };
+  std::map<const ir::Function *, Entry> Entries;
+  CacheStats Stats;
+};
+
+} // namespace srp::ssa
+
+#endif // SRP_SSA_ANALYSISCACHE_H

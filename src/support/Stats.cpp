@@ -1,0 +1,50 @@
+//===- Stats.cpp - Process-wide statistics registry ---------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/OStream.h"
+#include "support/StringUtils.h"
+
+using namespace srp;
+
+StatsRegistry &StatsRegistry::get() {
+  static StatsRegistry Registry;
+  return Registry;
+}
+
+void StatsRegistry::add(std::string_view Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+uint64_t StatsRegistry::value(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Counters.begin(), Counters.end()};
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+}
+
+bool StatsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.empty();
+}
+
+void StatsRegistry::report(OStream &OS) const {
+  for (const auto &[Name, Value] : snapshot())
+    OS << formatString("  %12llu  %s\n", (unsigned long long)Value,
+                       Name.c_str());
+}

@@ -1,0 +1,63 @@
+//===- Stats.h - Process-wide statistics registry ---------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, thread-safe registry of named uint64 counters, in the
+/// spirit of LLVM's -stats. Passes and promotion stages record work and
+/// wall time here ("pass.promote.us", "pre.rename.us", ...); tools and
+/// benches dump the registry with --stats. The registry is additive only:
+/// concurrent pipelines from the parallel experiment driver may all record
+/// into it, so per-run numbers that must stay deterministic (the simulator
+/// counters) live in PipelineResult instead, never here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_STATS_H
+#define SRP_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace srp {
+
+class OStream;
+
+/// Thread-safe map of named counters. One process-wide instance is
+/// reachable via StatsRegistry::get(); tests may construct their own.
+class StatsRegistry {
+public:
+  /// The process-wide registry.
+  static StatsRegistry &get();
+
+  /// Adds \p Delta to the counter named \p Name (creating it at zero).
+  void add(std::string_view Name, uint64_t Delta);
+
+  /// Current value of \p Name; 0 if never recorded.
+  uint64_t value(std::string_view Name) const;
+
+  /// Snapshot of all counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+  /// Resets every counter (tests and repeated experiment batches).
+  void clear();
+
+  /// True if no counter was ever recorded (or clear() was just called).
+  bool empty() const;
+
+  /// Writes "  <value>  <name>" lines, sorted by name.
+  void report(OStream &OS) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, uint64_t, std::less<>> Counters;
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_STATS_H

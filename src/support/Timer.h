@@ -1,0 +1,61 @@
+//===- Timer.h - Wall-clock timing helpers ----------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped wall-clock timing for passes and promotion stages. A Timer is a
+/// plain stopwatch over std::chrono::steady_clock; ScopedTimer accumulates
+/// the elapsed time of its scope into a caller-owned microsecond counter,
+/// which is how the pass manager and the promotion stages attribute time
+/// without any global state (the process-wide aggregation happens in
+/// StatsRegistry, see Stats.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_TIMER_H
+#define SRP_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace srp {
+
+/// A stopwatch over the monotonic clock.
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Microseconds elapsed since construction or the last reset().
+  uint64_t elapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Adds the wall time of its scope to \p Counter (microseconds) on
+/// destruction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(uint64_t &Counter) : Counter(Counter) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() { Counter += T.elapsedMicros(); }
+
+private:
+  uint64_t &Counter;
+  Timer T;
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_TIMER_H

@@ -1,0 +1,156 @@
+//===- ExperimentTest.cpp - Parallel experiment driver tests -------------------===//
+//
+// The determinism contract of core::runExperiments: a pipeline run is a
+// pure function of (workload, config), so the counters coming back must
+// be byte-identical for any thread count. PipelineResult::Timings is
+// wall-clock and explicitly excluded (see core/Pipeline.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+
+#include "ir/IRBuilder.h"
+#include "workloads/LoopHelper.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace srp;
+using namespace srp::core;
+using namespace srp::ir;
+
+namespace {
+
+/// A Figure 1(a)-in-a-loop kernel: the invariant load of `a` crosses a
+/// may-aliasing store every iteration, so the ALAT strategy speculates
+/// while the baseline falls back to software checking — both paths of the
+/// pipeline get exercised.
+Workload specKernel() {
+  Workload W;
+  W.Name = "speckernel";
+  W.TrainScale = 1;
+  W.RefScale = 2;
+  W.Build = [](Module &M, uint64_t Scale) {
+    const int64_t N = static_cast<int64_t>(200 * Scale);
+    Symbol *A = M.createGlobal("a", TypeKind::Int);
+    Symbol *B2 = M.createGlobal("b", TypeKind::Int);
+    Symbol *P = M.createGlobal("p", TypeKind::Int);
+    Symbol *Zero = M.createGlobal("always_zero", TypeKind::Int);
+    Symbol *I = M.createGlobal("i", TypeKind::Int);
+    Symbol *Acc = M.createGlobal("acc", TypeKind::Int);
+    IRBuilder B(M);
+    B.startFunction("main");
+    B.emitStore(directRef(A), Operand::constInt(7));
+    // p may point at a (decoy path) but really points at b.
+    {
+      BasicBlock *Decoy = B.createBlock("decoy");
+      BasicBlock *Join = B.createBlock("seeded");
+      unsigned TZ = B.emitLoad(directRef(Zero));
+      B.setCondBr(Operand::temp(TZ), Decoy, Join);
+      B.setBlock(Decoy);
+      unsigned TA = B.emitAddrOf(A);
+      B.emitStore(directRef(P), Operand::temp(TA));
+      B.setBr(Join);
+      B.setBlock(Join);
+      unsigned TB = B.emitAddrOf(B2);
+      B.emitStore(directRef(P), Operand::temp(TB));
+    }
+    workloads::LoopCtx L =
+        workloads::beginLoop(B, I, Operand::constInt(N));
+    {
+      unsigned T1 = B.emitLoad(directRef(A));
+      B.emitStore(indirectRef(P, TypeKind::Int), Operand::temp(L.IdxTemp));
+      unsigned T2 = B.emitLoad(directRef(A));
+      unsigned TS = B.emitAssign(Opcode::Add, Operand::temp(T1),
+                                 Operand::temp(T2));
+      unsigned TAcc = B.emitLoad(directRef(Acc));
+      unsigned TNew = B.emitAssign(Opcode::Add, Operand::temp(TAcc),
+                                   Operand::temp(TS));
+      B.emitStore(directRef(Acc), Operand::temp(TNew));
+    }
+    workloads::endLoop(B, L);
+    unsigned TOut = B.emitLoad(directRef(Acc));
+    B.emitPrint(Operand::temp(TOut));
+    B.setRet(Operand::temp(TOut));
+  };
+  return W;
+}
+
+/// Everything of a result that must be thread-count independent (all of
+/// it except Timings).
+void expectIdentical(const PipelineResult &A, const PipelineResult &B) {
+  EXPECT_EQ(A.Ok, B.Ok);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(0, std::memcmp(&A.Sim.Counters, &B.Sim.Counters,
+                           sizeof(A.Sim.Counters)));
+  EXPECT_EQ(0, std::memcmp(&A.Promotion, &B.Promotion,
+                           sizeof(A.Promotion)));
+  EXPECT_EQ(A.MaxStackedRegs, B.MaxStackedRegs);
+  EXPECT_EQ(A.SpecDiags.size(), B.SpecDiags.size());
+}
+
+std::vector<Experiment> grid(const Workload &W) {
+  std::vector<Experiment> Exps;
+  for (const char *Strategy : {"conservative", "baseline", "alat"}) {
+    PipelineConfig C =
+        configFor(Strategy[0] == 'c'   ? pre::PromotionConfig::conservative()
+                  : Strategy[0] == 'b' ? pre::PromotionConfig::baselineO3()
+                                       : pre::PromotionConfig::alat());
+    Exps.push_back({&W, C, std::string(W.Name) + "/" + Strategy});
+  }
+  return Exps;
+}
+
+TEST(ExperimentTest, ParallelCountersMatchSerialByteForByte) {
+  Workload W = specKernel();
+  std::vector<Experiment> Exps = grid(W);
+
+  ExperimentOptions Serial;
+  Serial.Threads = 1;
+  Serial.CheckOracle = true;
+  std::vector<PipelineResult> SerialR = runExperiments(Exps, Serial);
+
+  ExperimentOptions Parallel;
+  Parallel.Threads = 4;
+  Parallel.CheckOracle = true;
+  std::vector<PipelineResult> ParallelR = runExperiments(Exps, Parallel);
+
+  ASSERT_EQ(SerialR.size(), Exps.size());
+  ASSERT_EQ(ParallelR.size(), Exps.size());
+  for (size_t I = 0; I < Exps.size(); ++I) {
+    EXPECT_TRUE(SerialR[I].Ok) << Exps[I].Label << ": " << SerialR[I].Error;
+    expectIdentical(SerialR[I], ParallelR[I]);
+  }
+  // The grid is not degenerate: the strategies really differ.
+  EXPECT_LT(SerialR[2].Sim.Counters.RetiredLoads,
+            SerialR[0].Sim.Counters.RetiredLoads)
+      << "alat must retire fewer loads than conservative";
+}
+
+TEST(ExperimentTest, ResultsComeBackInInputOrder) {
+  Workload W = specKernel();
+  std::vector<Experiment> Exps = grid(W);
+  ExperimentOptions Opts;
+  Opts.Threads = 3;
+  std::vector<PipelineResult> R = runExperiments(Exps, Opts);
+  ASSERT_EQ(R.size(), 3u);
+  // Index 0 is conservative, 2 is alat — distinguishable by ALAT checks.
+  EXPECT_EQ(R[0].Sim.Counters.AlatChecks, 0u);
+  EXPECT_GT(R[2].Sim.Counters.AlatChecks, 0u);
+}
+
+TEST(ExperimentTest, MoreThreadsThanExperiments) {
+  Workload W = specKernel();
+  std::vector<Experiment> Exps = {
+      {&W, configFor(pre::PromotionConfig::alat()), "only"}};
+  ExperimentOptions Opts;
+  Opts.Threads = 8;
+  Opts.CheckOracle = true;
+  std::vector<PipelineResult> R = runExperiments(Exps, Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Ok) << R[0].Error;
+}
+
+} // namespace

@@ -2,21 +2,26 @@
 //
 // Compiles a textual IR program (see ir/Parser.h for the grammar) under a
 // chosen promotion strategy and runs it on the ITA simulator, reporting
-// the pfmon-style counters.
+// the pfmon-style counters. The run is the standard pass pipeline
+// (core/Pass.h) in module mode: the parsed program is profiled and
+// transformed in place, and the train run doubles as the correctness
+// oracle; srp-run exits non-zero if the simulated output diverges.
 //
 //   srp-run [options] program.sir
 //     --strategy=conservative|baseline|alat   (default alat)
 //     --cascade          enable chk.a address speculation
 //     --sta              enable the st.a extension (§2.5)
-//     --no-profile       skip the alias-profile training run
+//     --no-profile       collect but don't feed back the alias profile
+//     --disable-pass=N   skip the pass named N (repeatable; see passes)
+//     --timing           per-pass wall-time breakdown (stderr)
+//     --stats            dump the statistics registry (stderr)
 //     --print-ir         print the promoted IR
 //     --print-asm        print the ITA assembly
 //     --alat-entries=N   ALAT geometry overrides
 //     --alat-tag-bits=N
 //
-// The program is first run on the interpreter to collect the alias and
-// edge profiles (the "train" run) and as the correctness oracle; srp-run
-// exits non-zero if the simulated output diverges.
+//   srp-run passes
+//     List the registered passes in run order with descriptions.
 //
 //   srp-run lint [options] program.sir
 //     Static speculation-safety checking (analysis/SpecVerifier.h): by
@@ -32,17 +37,18 @@
 
 #include "alias/AliasAnalysis.h"
 #include "analysis/SpecVerifier.h"
-#include "arch/Simulator.h"
 #include "codegen/Lowering.h"
-#include "codegen/RegAlloc.h"
+#include "core/Pass.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pre/Promoter.h"
 #include "support/OStream.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -57,6 +63,9 @@ struct Options {
   bool UseProfile = true;
   bool PrintIR = false;
   bool PrintAsm = false;
+  bool Timing = false;
+  bool Stats = false;
+  std::vector<std::string> DisabledPasses;
   arch::SimConfig Sim;
   // Lint-mode (srp-run lint ...) options.
   bool Lint = false;
@@ -93,6 +102,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.PrintIR = true;
     else if (Arg == "--print-asm")
       Opts.PrintAsm = true;
+    else if (Arg == "--timing")
+      Opts.Timing = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (startsWith(Arg, "--disable-pass="))
+      Opts.DisabledPasses.emplace_back(Arg.substr(15));
     else if (startsWith(Arg, "--alat-entries="))
       Opts.Sim.Alat.Entries =
           static_cast<unsigned>(std::atoi(Arg.data() + 15));
@@ -110,7 +125,31 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     errs() << "usage: srp-run [options] program.sir (see file header)\n";
     return false;
   }
+  // Unknown --disable-pass names would silently do nothing; reject them.
+  std::vector<std::string> Known = core::standardPassNames();
+  for (const std::string &Name : Opts.DisabledPasses)
+    if (std::find(Known.begin(), Known.end(), Name) == Known.end()) {
+      errs() << "unknown pass '" << Name
+             << "' in --disable-pass (run 'srp-run passes')\n";
+      return false;
+    }
   return true;
+}
+
+/// srp-run passes: list the registered pipeline in run order.
+int listPasses() {
+  core::PassManager PM;
+  core::addStandardPasses(PM);
+  outs() << "registered passes, in run order:\n";
+  for (const std::string &Name : PM.passNames()) {
+    const core::Pass *P = PM.find(Name);
+    outs() << formatString("  %-12s %s\n", Name.c_str(),
+                           std::string(P->description()).c_str());
+  }
+  outs() << "\ndisable any of them with --disable-pass=<name> "
+            "(passes depending on a disabled one fail with a "
+            "diagnostic)\n";
+  return 0;
 }
 
 /// srp-run lint: static speculation-safety checking. Returns the process
@@ -175,6 +214,9 @@ bool readFile(const std::string &Path, std::string &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "passes") == 0)
+    return listPasses();
+
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
@@ -200,53 +242,60 @@ int main(int Argc, char **Argv) {
   if (Opts.Lint)
     return runLint(M, Opts);
 
-  // Train + oracle run.
-  interp::AliasProfile AP;
-  interp::EdgeProfile EP;
-  interp::Interpreter Train(M);
-  Train.setAliasProfile(&AP);
-  Train.setEdgeProfile(&EP);
-  interp::RunResult Oracle = Train.run();
-  if (!Oracle.Ok) {
-    errs() << "interpreter failed: " << Oracle.Error << '\n';
+  // The standard pipeline in module mode: M is profiled (the train run,
+  // which doubles as the oracle) and promoted in place.
+  core::PipelineState S;
+  S.External = &M;
+  S.Config.Promotion = Opts.Promotion;
+  S.Config.Sim = Opts.Sim;
+  S.Config.UseAliasProfile = Opts.UseProfile;
+  S.Config.DisabledPasses = Opts.DisabledPasses;
+
+  core::PassManager PM;
+  core::addStandardPasses(PM);
+  auto AfterPass = [&Opts, &M](const core::Pass &P,
+                               core::PipelineState &St) {
+    if (Opts.PrintIR && P.name() == "promote") {
+      outs() << "--- promoted IR ---\n";
+      ir::printModule(M, outs());
+    }
+    // After regalloc rather than lower, so physical registers show.
+    if (Opts.PrintAsm && P.name() == "regalloc") {
+      outs() << "--- ITA assembly ---\n";
+      codegen::printMModule(*St.MM, outs());
+    }
+  };
+  bool Ok = PM.run(S, AfterPass);
+
+  auto ReportObservability = [&Opts, &S] {
+    if (Opts.Timing) {
+      errs() << "--- pass timing (us) ---\n";
+      for (const core::PipelineResult::PassTiming &T : S.Result.Timings)
+        errs() << formatString("  %10llu  %s\n",
+                               (unsigned long long)T.Micros,
+                               T.Name.c_str());
+    }
+    if (Opts.Stats) {
+      errs() << "--- stats ---\n";
+      StatsRegistry::get().report(errs());
+    }
+  };
+
+  if (!Ok) {
+    errs() << S.Result.Error << '\n';
+    ReportObservability();
     return 1;
   }
 
-  alias::SteensgaardAnalysis AA(M);
-  pre::PromotionStats Stats = pre::promoteModule(
-      M, AA, Opts.UseProfile ? &AP : nullptr, &EP, Opts.Promotion);
-  Errors = ir::verifyModule(M);
-  if (!Errors.empty()) {
-    errs() << "internal error: promoted module fails verification: "
-           << Errors[0] << '\n';
-    return 1;
-  }
-  if (Opts.PrintIR) {
-    outs() << "--- promoted IR ---\n";
-    ir::printModule(M, outs());
-  }
-
-  auto MM = codegen::lowerModule(M);
-  codegen::allocateRegisters(*MM);
-  if (Opts.PrintAsm) {
-    outs() << "--- ITA assembly ---\n";
-    codegen::printMModule(*MM, outs());
-  }
-
-  arch::SimResult Sim = arch::simulate(*MM, Opts.Sim);
-  if (!Sim.Ok) {
-    errs() << "simulation failed: " << Sim.Error << '\n';
-    return 1;
-  }
-  for (const std::string &Line : Sim.Output)
+  for (const std::string &Line : S.Result.Output)
     outs() << Line << '\n';
-  if (Sim.Output != Oracle.Output) {
+  if (S.HasProfile && S.Result.Output != S.OracleOutput) {
     errs() << "MISCOMPILE: simulated output diverges from the "
               "interpreter\n";
     return 1;
   }
 
-  const arch::PerfCounters &C = Sim.Counters;
+  const arch::PerfCounters &C = S.Result.Sim.Counters;
   errs() << "---\n";
   errs() << formatString(
       "cycles %llu, instructions %llu, loads %llu, stores %llu\n",
@@ -264,11 +313,13 @@ int main(int Argc, char **Argv) {
       (unsigned long long)C.AlatChecks,
       (unsigned long long)C.AlatCheckFailures,
       (unsigned long long)C.ChkARecoveries);
+  const pre::PromotionStats &Stats = S.Result.Promotion;
   errs() << formatString(
       "promotion: %u exprs, %u loads removed (%u direct / %u indirect), "
       "%u checks, %u software pairs\n",
       Stats.PromotedExprs, Stats.loadsRemoved(), Stats.LoadsRemovedDirect,
       Stats.LoadsRemovedIndirect,
       Stats.ChecksInserted + Stats.CascadeChecks, Stats.SoftwareChecks);
+  ReportObservability();
   return 0;
 }
