@@ -26,6 +26,52 @@ Alat::Alat(const AlatConfig &Config) : Config(Config) {
   Table.assign(NumSets * Config.Ways, Entry());
 }
 
+Alat::Alat(const AlatConfig &Config, const FaultPlan &Plan) : Alat(Config) {
+  Faults = Plan;
+  FaultRng = RNG(Plan.Seed);
+}
+
+// Fault injection only ever drops entries or forces misses (see
+// FaultPlan.h), so a correct recovery discipline keeps the simulated
+// program's output unchanged under any schedule. The RNG is drawn from
+// on every eligible event regardless of outcome, so the schedule is a
+// pure function of (plan seed, event sequence) and replays exactly.
+
+void Alat::dropRandomValidEntry(uint64_t &Counter) {
+  unsigned Valid = numValidEntries();
+  if (Valid == 0)
+    return;
+  unsigned Pick = static_cast<unsigned>(FaultRng.nextBelow(Valid));
+  for (Entry &E : Table) {
+    if (!E.Valid)
+      continue;
+    if (Pick-- == 0) {
+      E.Valid = false;
+      ++Counter;
+      return;
+    }
+  }
+}
+
+void Alat::faultSpuriousInvalidate() {
+  if (Faults.SpuriousInvalidateProb <= 0.0)
+    return;
+  if (FaultRng.nextBool(Faults.SpuriousInvalidateProb))
+    dropRandomValidEntry(Stats.Faults.SpuriousInvalidations);
+}
+
+void Alat::faultCapacitySqueeze() {
+  if (Faults.CapacityLimit == 0)
+    return;
+  while (numValidEntries() > Faults.CapacityLimit)
+    dropRandomValidEntry(Stats.Faults.CapacityDrops);
+}
+
+bool Alat::faultForcesMiss() {
+  return Faults.ForcedMissProb > 0.0 &&
+         FaultRng.nextBool(Faults.ForcedMissProb);
+}
+
 Alat::Entry *Alat::findEntry(unsigned Reg) {
   unsigned Set = setOf(Reg);
   for (unsigned W = 0; W < Config.Ways; ++W) {
@@ -46,6 +92,10 @@ void Alat::allocate(unsigned Reg, uint64_t Addr) {
     fprintf(stderr, "alloc r%u @%llx\n", Reg, (unsigned long long)Addr);
   if (Entry *E = findEntry(Reg)) {
     E->Addr = Addr;
+    if (Faults.enabled()) {
+      faultSpuriousInvalidate();
+      faultCapacitySqueeze();
+    }
     return;
   }
   unsigned Set = setOf(Reg);
@@ -68,6 +118,10 @@ void Alat::allocate(unsigned Reg, uint64_t Addr) {
   Victim->Valid = true;
   Victim->Reg = Reg;
   Victim->Addr = Addr;
+  if (Faults.enabled()) {
+    faultSpuriousInvalidate();
+    faultCapacitySqueeze();
+  }
 }
 
 void Alat::storeNotify(uint64_t Addr) {
@@ -86,6 +140,15 @@ void Alat::storeNotify(uint64_t Addr) {
 }
 
 bool Alat::check(unsigned Reg, uint64_t Addr, bool Clear) {
+  if (Faults.enabled()) {
+    faultSpuriousInvalidate();
+    if (faultForcesMiss()) {
+      if (Entry *E = findEntry(Reg)) {
+        E->Valid = false;
+        ++Stats.Faults.ForcedMisses;
+      }
+    }
+  }
   Entry *E = findEntry(Reg);
   if (!E || E->Addr != Addr) {
     ++Stats.CheckMisses;
@@ -100,7 +163,16 @@ bool Alat::check(unsigned Reg, uint64_t Addr, bool Clear) {
   return true;
 }
 
-bool Alat::checkRegister(unsigned Reg) const {
+bool Alat::checkRegister(unsigned Reg) {
+  if (Faults.enabled()) {
+    faultSpuriousInvalidate();
+    if (faultForcesMiss()) {
+      if (Entry *E = findEntry(Reg)) {
+        E->Valid = false;
+        ++Stats.Faults.ForcedMisses;
+      }
+    }
+  }
   return findEntry(Reg) != nullptr;
 }
 

@@ -25,6 +25,9 @@
 #ifndef SRP_ARCH_ALAT_H
 #define SRP_ARCH_ALAT_H
 
+#include "arch/FaultPlan.h"
+#include "support/RNG.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -45,12 +48,18 @@ struct AlatStats {
   uint64_t CapacityEvictions = 0;  ///< Entries displaced by allocation.
   uint64_t CheckHits = 0;
   uint64_t CheckMisses = 0;
+  /// Injected-fault counters; all zero when no FaultPlan is attached.
+  FaultStats Faults;
 };
 
 /// The table itself.
 class Alat {
 public:
   explicit Alat(const AlatConfig &Config);
+
+  /// A table with a fault-injection schedule attached (FaultPlan.h). A
+  /// disabled plan behaves bit-identically to the plain constructor.
+  Alat(const AlatConfig &Config, const FaultPlan &Faults);
 
   /// Allocates (or refreshes) the entry for \p Reg covering \p Addr.
   void allocate(unsigned Reg, uint64_t Addr);
@@ -64,8 +73,9 @@ public:
   bool check(unsigned Reg, uint64_t Addr, bool Clear);
 
   /// chk.a-style query: valid entry for \p Reg (address already verified
-  /// at allocation; the recovery reloads everything anyway).
-  bool checkRegister(unsigned Reg) const;
+  /// at allocation; the recovery reloads everything anyway). Non-const:
+  /// an attached FaultPlan may invalidate entries during the check.
+  bool checkRegister(unsigned Reg);
 
   /// invala.e: drops \p Reg's entry.
   void invalidateRegister(unsigned Reg);
@@ -94,10 +104,18 @@ private:
   Entry *findEntry(unsigned Reg);
   const Entry *findEntry(unsigned Reg) const;
 
+  /// Fault hooks (no-ops when Faults is disabled): \see FaultPlan.
+  void faultSpuriousInvalidate();
+  void faultCapacitySqueeze();
+  bool faultForcesMiss();
+  void dropRandomValidEntry(uint64_t &Counter);
+
   AlatConfig Config;
   unsigned NumSets;
   std::vector<Entry> Table; ///< NumSets * Ways.
   AlatStats Stats;
+  FaultPlan Faults;   ///< Disabled by default.
+  RNG FaultRng{0};    ///< Only drawn from when Faults.enabled().
 };
 
 } // namespace srp::arch

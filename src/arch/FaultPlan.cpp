@@ -1,0 +1,38 @@
+//===- FaultPlan.cpp - Deterministic ALAT fault injection ---------------------===//
+
+#include "arch/FaultPlan.h"
+
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+using namespace srp;
+using namespace srp::arch;
+
+FaultPlan FaultPlan::fromSeed(uint64_t Seed) {
+  FaultPlan P;
+  if (Seed == 0)
+    return P;
+  P.Seed = Seed;
+  // Draw each axis independently so schedules cover the corner cases
+  // (only forced misses, only squeezes, everything at once, ...).
+  RNG R(Seed * 0x9e3779b97f4a7c15ULL + 0xfa17);
+  static const double MissProbs[] = {0.0, 0.05, 0.25, 0.75};
+  static const double InvalProbs[] = {0.0, 0.02, 0.10, 0.50};
+  static const unsigned Capacities[] = {0, 1, 2, 4, 8};
+  P.ForcedMissProb = MissProbs[R.nextBelow(4)];
+  P.SpuriousInvalidateProb = InvalProbs[R.nextBelow(4)];
+  P.CapacityLimit = Capacities[R.nextBelow(5)];
+  // An all-zero draw would be a silently disabled schedule; give it the
+  // mildest real fault instead so every nonzero seed injects something.
+  if (!P.enabled())
+    P.ForcedMissProb = 0.05;
+  return P;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled())
+    return "none";
+  return formatString("seed=%llu,miss=%.2f,inv=%.2f,cap=%u",
+                      static_cast<unsigned long long>(Seed), ForcedMissProb,
+                      SpuriousInvalidateProb, CapacityLimit);
+}

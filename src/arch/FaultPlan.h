@@ -1,0 +1,71 @@
+//===- FaultPlan.h - Deterministic ALAT fault injection ---------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded schedule of hardware faults injected into the simulator's
+/// ALAT. Every fault only *removes* entries or *forces check misses* —
+/// directions in which the architecture is self-correcting: a missing
+/// entry makes ld.c reload and chk.a take its recovery path. A compiler
+/// whose recovery code is correct therefore produces identical program
+/// output under any fault schedule; the differential oracle
+/// (valid::DiffOracle) asserts exactly that. Faults never force a *hit*,
+/// which would require the hardware to lie about address matching.
+///
+/// Schedules are a pure function of a 64-bit seed, so a failure report
+/// of (program seed, config, fault seed) replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ARCH_FAULTPLAN_H
+#define SRP_ARCH_FAULTPLAN_H
+
+#include <cstdint>
+#include <string>
+
+namespace srp::arch {
+
+/// One deterministic fault-injection schedule. Default-constructed plans
+/// are disabled and leave the ALAT's behaviour bit-identical to a run
+/// with no fault layer at all (the determinism tests rely on this).
+struct FaultPlan {
+  /// Seed of the injection RNG; 0 disables the plan entirely.
+  uint64_t Seed = 0;
+  /// Per check (ld.c / chk.a), probability that a would-be hit is turned
+  /// into a miss by invalidating the entry first (a spurious context
+  /// switch, purge, or tag-parity drop at the worst moment).
+  double ForcedMissProb = 0.0;
+  /// Per ALAT event, probability of invalidating one random valid entry
+  /// (spurious invalidation pressure).
+  double SpuriousInvalidateProb = 0.0;
+  /// If nonzero, the table behaves as if it had at most this many valid
+  /// entries: allocations beyond the limit drop a random victim (a
+  /// capacity squeeze, e.g. SMT sharing or power-gated ways).
+  unsigned CapacityLimit = 0;
+
+  bool enabled() const {
+    return Seed != 0 && (ForcedMissProb > 0.0 ||
+                         SpuriousInvalidateProb > 0.0 || CapacityLimit > 0);
+  }
+
+  /// Derives a full schedule from one seed (the fuzzer's fault axis).
+  /// Seed 0 returns a disabled plan.
+  static FaultPlan fromSeed(uint64_t Seed);
+
+  /// One-line reproducible description, e.g.
+  /// "seed=7,miss=0.20,inv=0.05,cap=4".
+  std::string describe() const;
+};
+
+/// Counters for injected faults (folded into AlatStats reporting).
+struct FaultStats {
+  uint64_t ForcedMisses = 0;
+  uint64_t SpuriousInvalidations = 0;
+  uint64_t CapacityDrops = 0;
+};
+
+} // namespace srp::arch
+
+#endif // SRP_ARCH_FAULTPLAN_H

@@ -20,7 +20,8 @@ namespace {
 class Machine {
 public:
   Machine(const MModule &M, const SimConfig &Config)
-      : M(M), Config(Config), Table(Config.Alat), Mem(Config.Memory) {}
+      : M(M), Config(Config), Table(Config.Alat, Config.Faults),
+        Mem(Config.Memory) {}
 
   SimResult run();
 

@@ -39,6 +39,10 @@ namespace srp::arch {
 /// Timing and machine-configuration knobs.
 struct SimConfig {
   AlatConfig Alat;
+  /// Optional ALAT fault-injection schedule (FaultPlan.h); disabled by
+  /// default, in which case the simulation is bit-identical to a build
+  /// without the fault layer.
+  FaultPlan Faults;
   MemoryConfig Memory;
   unsigned IssueWidth = 6;          ///< Two bundles of three.
   unsigned TakenBranchPenalty = 1;  ///< Pipeline bubble per taken branch.

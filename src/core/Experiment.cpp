@@ -9,37 +9,25 @@
 using namespace srp;
 using namespace srp::core;
 
-std::vector<PipelineResult>
-srp::core::runExperiments(const std::vector<Experiment> &Exps,
-                          const ExperimentOptions &Opts) {
-  std::vector<PipelineResult> Results(Exps.size());
+// Work-stealing by atomic index: the schedule (which worker runs which
+// index) is nondeterministic; determinism is the callback's contract —
+// each invocation owns all its state and deposits into its own slot.
+void srp::core::parallelFor(unsigned Threads, size_t N,
+                            const std::function<void(size_t)> &Fn) {
   std::atomic<size_t> Next{0};
-
-  // Work-stealing by atomic index: the schedule (which worker runs which
-  // experiment) is nondeterministic, the results are not — each pipeline
-  // owns all its state and deposits into its own slot.
-  auto Worker = [&Exps, &Results, &Next, &Opts] {
+  auto Worker = [&Next, &Fn, N] {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Exps.size())
+      if (I >= N)
         return;
-      const Experiment &E = Exps[I];
-      PipelineResult R = runPipeline(*E.W, E.Config);
-      if (Opts.CheckOracle && R.Ok &&
-          R.Output != oracleOutput(*E.W, E.Config.InterpFuel)) {
-        R.Ok = false;
-        R.Error = "simulated output diverges from the interpreter oracle";
-      }
-      Results[I] = std::move(R);
+      Fn(I);
     }
   };
 
-  size_t NumWorkers = Opts.Threads > 1
-                          ? std::min<size_t>(Opts.Threads, Exps.size())
-                          : 1;
+  size_t NumWorkers = Threads > 1 ? std::min<size_t>(Threads, N) : 1;
   if (NumWorkers <= 1) {
     Worker();
-    return Results;
+    return;
   }
   std::vector<std::thread> Pool;
   Pool.reserve(NumWorkers);
@@ -47,5 +35,21 @@ srp::core::runExperiments(const std::vector<Experiment> &Exps,
     Pool.emplace_back(Worker);
   for (std::thread &T : Pool)
     T.join();
+}
+
+std::vector<PipelineResult>
+srp::core::runExperiments(const std::vector<Experiment> &Exps,
+                          const ExperimentOptions &Opts) {
+  std::vector<PipelineResult> Results(Exps.size());
+  parallelFor(Opts.Threads, Exps.size(), [&Exps, &Results, &Opts](size_t I) {
+    const Experiment &E = Exps[I];
+    PipelineResult R = runPipeline(*E.W, E.Config);
+    if (Opts.CheckOracle && R.Ok &&
+        R.Output != oracleOutput(*E.W, E.Config.InterpFuel)) {
+      R.Ok = false;
+      R.Error = "simulated output diverges from the interpreter oracle";
+    }
+    Results[I] = std::move(R);
+  });
   return Results;
 }

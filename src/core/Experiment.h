@@ -24,7 +24,18 @@
 
 #include "core/Pipeline.h"
 
+#include <functional>
+
 namespace srp::core {
+
+/// Runs Fn(0..N-1) on up to \p Threads workers (1 or 0 runs serially in
+/// the calling thread). Same work-stealing pool as runExperiments: the
+/// schedule is nondeterministic, so Fn must own all its state apart from
+/// depositing into an index-addressed slot. Blocks until every index has
+/// run. The fuzzing driver (fuzz::runFuzzer) and the differential oracle
+/// batches are built on this.
+void parallelFor(unsigned Threads, size_t N,
+                 const std::function<void(size_t)> &Fn);
 
 /// One workload×config pipeline to run.
 struct Experiment {

@@ -33,6 +33,11 @@ public:
     return "construct and verify the train and ref modules";
   }
   bool run(PipelineState &S) override {
+    std::string ConfigError = validatePipelineConfig(S.Config);
+    if (!ConfigError.empty()) {
+      S.Result.Error = "invalid pipeline config: " + ConfigError;
+      return false;
+    }
     if (S.External) {
       for (unsigned I = 0; I < S.External->numFunctions(); ++I)
         S.External->function(I)->recomputeCFG();

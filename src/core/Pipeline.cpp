@@ -10,9 +10,35 @@
 
 #include "core/Pass.h"
 #include "interp/Interpreter.h"
+#include "support/StringUtils.h"
 
 using namespace srp;
 using namespace srp::core;
+
+std::string srp::core::validatePipelineConfig(const PipelineConfig &Config) {
+  const arch::AlatConfig &A = Config.Sim.Alat;
+  if (A.Entries == 0)
+    return "ALAT must have at least one entry (--alat-entries)";
+  if (A.Ways == 0)
+    return "ALAT associativity must be at least 1 (--alat-ways)";
+  if (A.Ways > A.Entries)
+    return formatString("ALAT associativity (%u) exceeds entry count (%u)",
+                        A.Ways, A.Entries);
+  if (A.Entries % A.Ways != 0)
+    return formatString("ALAT entry count (%u) is not a multiple of the "
+                        "associativity (%u)",
+                        A.Entries, A.Ways);
+  if (A.PartialTagBits == 0 || A.PartialTagBits > 63)
+    return formatString("ALAT partial tag width (%u) must be in [1, 63]",
+                        A.PartialTagBits);
+  if (Config.Sim.IssueWidth == 0)
+    return "issue width must be at least 1";
+  if (Config.Sim.MaxInstructions == 0)
+    return "simulator instruction budget must be positive";
+  if (Config.InterpFuel == 0)
+    return "interpreter fuel must be positive";
+  return "";
+}
 
 PipelineConfig srp::core::configFor(const pre::PromotionConfig &Promotion) {
   PipelineConfig C;

@@ -105,6 +105,14 @@ std::vector<std::string> oracleOutput(const Workload &W, uint64_t Fuel =
 /// strategies with everything else at defaults.
 PipelineConfig configFor(const pre::PromotionConfig &Promotion);
 
+/// Checks \p Config for values the pipeline cannot run with (zero-entry
+/// ALAT, more ways than entries, degenerate tag widths, zero fuel, ...).
+/// Returns an empty string when valid, else a diagnostic. BuildPass runs
+/// this first, so a bad config fails the pipeline with
+/// PipelineResult::Error instead of tripping an assert deep in the
+/// simulator — user-facing tools (srp-run, srp-fuzz) rely on that.
+std::string validatePipelineConfig(const PipelineConfig &Config);
+
 } // namespace srp::core
 
 #endif // SRP_CORE_PIPELINE_H

@@ -1,0 +1,55 @@
+//===- Coverage.cpp - Feedback signal for the generative fuzzer --------------===//
+
+#include "fuzz/Coverage.h"
+
+using namespace srp;
+using namespace srp::fuzz;
+
+namespace {
+
+/// log2-ish magnitude bucket: 0 for 0, else 1 + floor(log2(V)), capped
+/// so the feature space stays small and saturating counters don't mint
+/// endless "new" features.
+unsigned bucketOf(uint64_t V) {
+  unsigned B = 0;
+  while (V) {
+    ++B;
+    V >>= 1;
+    if (B >= 16)
+      break;
+  }
+  return B;
+}
+
+} // namespace
+
+std::vector<uint64_t> srp::fuzz::extractFeatures(const valid::OracleReport &R,
+                                                 unsigned ConfigIndex) {
+  const uint64_t Counters[] = {
+      R.Promotion.PromotedExprs,
+      R.Promotion.LoadsRemovedDirect,
+      R.Promotion.LoadsRemovedIndirect,
+      R.Promotion.AdvancedLoads,
+      R.Promotion.InsertedLoads,
+      R.Promotion.ChecksInserted,
+      R.Promotion.CascadeChecks,
+      R.Promotion.InvalaInserted,
+      R.Promotion.InvalaModeLoads,
+      R.Promotion.SoftwareChecks,
+      R.Promotion.StAStores,
+      R.Promotion.ChecksRemovedByCleanup,
+      R.Alat.Allocations,
+      R.Alat.Invalidations,
+      R.Alat.FalseInvalidations,
+      R.Alat.CapacityEvictions,
+      R.Alat.CheckHits,
+      R.Alat.CheckMisses,
+      R.SpeculativeAccesses,
+  };
+  std::vector<uint64_t> Features;
+  Features.reserve(std::size(Counters));
+  for (size_t I = 0; I < std::size(Counters); ++I)
+    Features.push_back(static_cast<uint64_t>(ConfigIndex) * 4096 + I * 64 +
+                       bucketOf(Counters[I]));
+  return Features;
+}

@@ -1,0 +1,57 @@
+//===- Coverage.h - Feedback signal for the generative fuzzer ---*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for a *generative* fuzzer. There is no instrumented binary to
+/// collect edges from; what distinguishes interesting inputs here is what
+/// the compiler and the machine model did with them. Each oracle run is
+/// summarized as a set of features: one per (config, counter,
+/// log2-bucket) triple over the promotion statistics, the ALAT
+/// statistics, and the oracle's own speculation counters. A program that
+/// first reaches "8+ cascade checks under alat+cascade" or "first false
+/// ALAT invalidation under tiny-alat" contributes new features and earns
+/// a place in the corpus; shapes drawn from the corpus then bias future
+/// generation toward the behaviours that were hard to reach.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_FUZZ_COVERAGE_H
+#define SRP_FUZZ_COVERAGE_H
+
+#include "valid/DiffOracle.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace srp::fuzz {
+
+/// Extracts the feature set of one oracle run. \p ConfigIndex salts the
+/// features so the same behaviour under a different strategy counts as
+/// new coverage (strategies take different code paths in the promoter).
+std::vector<uint64_t> extractFeatures(const valid::OracleReport &R,
+                                      unsigned ConfigIndex);
+
+/// The fuzzer's global seen-feature set.
+class CoverageMap {
+public:
+  /// Merges \p Features; returns how many were previously unseen.
+  size_t addAll(const std::vector<uint64_t> &Features) {
+    size_t Fresh = 0;
+    for (uint64_t F : Features)
+      Fresh += Seen.insert(F).second ? 1 : 0;
+    return Fresh;
+  }
+
+  size_t size() const { return Seen.size(); }
+
+private:
+  std::unordered_set<uint64_t> Seen;
+};
+
+} // namespace srp::fuzz
+
+#endif // SRP_FUZZ_COVERAGE_H

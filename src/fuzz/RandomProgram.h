@@ -1,13 +1,13 @@
 //===- RandomProgram.h - Random IR program generator -------------*- C++ -*-===//
 //
-// Part of the srp-alat project (test support).
+// Part of the srp-alat project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deterministic random program generator for differential testing. The
-/// programs are pointer-heavy by construction: pointer cells are
-/// retargeted at random program points (including under branches), so
+/// Deterministic random program generator for differential testing and
+/// fuzzing. The programs are pointer-heavy by construction: pointer cells
+/// are retargeted at random program points (including under branches), so
 /// alias profiles genuinely diverge from the static points-to sets, and
 /// speculative promotion gets real collisions to survive.
 ///
@@ -15,10 +15,16 @@
 /// the verifier (indices are masked, offsets stay in bounds), and print
 /// enough state to make any miscompilation observable.
 ///
+/// A program is a pure function of (GenOptions, Seed). The fuzzer
+/// (fuzz::runFuzzer) derives the options themselves from a second seed
+/// via GenOptions::fromSeed, so one (ShapeSeed, ProgSeed) pair replays a
+/// generated program exactly; the defaults reproduce the generator the
+/// property tests have always used.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef SRP_TESTS_RANDOMPROGRAM_H
-#define SRP_TESTS_RANDOMPROGRAM_H
+#ifndef SRP_FUZZ_RANDOMPROGRAM_H
+#define SRP_FUZZ_RANDOMPROGRAM_H
 
 #include "ir/IRBuilder.h"
 #include "support/RNG.h"
@@ -26,23 +32,77 @@
 #include <string>
 #include <vector>
 
-namespace srp::testing {
+namespace srp::fuzz {
+
+/// Shape of the generated program. Every knob is clamped into a safe
+/// range by normalize(), so arbitrary fuzz-derived values cannot produce
+/// an unverifiable program (e.g. an array the masking trick can't index).
+struct GenOptions {
+  unsigned IntScalars = 4;   ///< >= 2 (the helper uses the first two).
+  unsigned FloatScalars = 2; ///< >= 1.
+  unsigned Pointers = 3;     ///< >= 1.
+  unsigned ArrayElems = 16;  ///< Power of two (indices are masked).
+  unsigned MinStmts = 14;    ///< Top-level statement floor.
+  unsigned ExtraStmts = 10;  ///< Random extra statements in [0, Extra).
+  unsigned MaxIfDepth = 3;   ///< Nesting cap for if statements.
+  unsigned MaxLoopDepth = 2; ///< Nesting cap for bounded loops.
+  bool UseHelperCalls = true;
+
+  /// Derives a valid shape from \p Seed (the fuzzer's ShapeSeed).
+  static GenOptions fromSeed(uint64_t Seed) {
+    GenOptions O;
+    RNG R(Seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+    O.IntScalars = 2 + static_cast<unsigned>(R.nextBelow(5));
+    O.FloatScalars = 1 + static_cast<unsigned>(R.nextBelow(3));
+    O.Pointers = 1 + static_cast<unsigned>(R.nextBelow(4));
+    static const unsigned Elems[] = {8, 16, 32};
+    O.ArrayElems = Elems[R.nextBelow(3)];
+    O.MinStmts = 6 + static_cast<unsigned>(R.nextBelow(24));
+    O.ExtraStmts = 4 + static_cast<unsigned>(R.nextBelow(16));
+    O.MaxIfDepth = 1 + static_cast<unsigned>(R.nextBelow(3));
+    O.MaxLoopDepth = static_cast<unsigned>(R.nextBelow(3));
+    O.UseHelperCalls = R.nextBool(0.8);
+    return O;
+  }
+
+  /// Clamps every knob into its documented range.
+  GenOptions normalized() const {
+    GenOptions O = *this;
+    if (O.IntScalars < 2)
+      O.IntScalars = 2;
+    if (O.FloatScalars < 1)
+      O.FloatScalars = 1;
+    if (O.Pointers < 1)
+      O.Pointers = 1;
+    // Round down to a power of two in [4, 64].
+    unsigned E = O.ArrayElems < 4 ? 4 : (O.ArrayElems > 64 ? 64 : O.ArrayElems);
+    while (E & (E - 1))
+      E &= E - 1;
+    O.ArrayElems = E;
+    if (O.MinStmts < 1)
+      O.MinStmts = 1;
+    if (O.ExtraStmts < 1)
+      O.ExtraStmts = 1;
+    return O;
+  }
+};
 
 class RandomProgramBuilder {
 public:
-  RandomProgramBuilder(ir::Module &M, uint64_t Seed)
-      : M(M), B(M), Rng(Seed) {}
+  RandomProgramBuilder(ir::Module &M, uint64_t Seed,
+                       const GenOptions &Options = GenOptions())
+      : M(M), B(M), Rng(Seed), Opts(Options.normalized()) {}
 
   void build() {
     using namespace ir;
-    for (int I = 0; I < 4; ++I)
+    for (unsigned I = 0; I < Opts.IntScalars; ++I)
       IntScalars.push_back(
           M.createGlobal("g" + std::to_string(I), TypeKind::Int));
-    for (int I = 0; I < 2; ++I)
+    for (unsigned I = 0; I < Opts.FloatScalars; ++I)
       FloatScalars.push_back(
           M.createGlobal("f" + std::to_string(I), TypeKind::Float));
-    Arr = M.createGlobal("arr", TypeKind::Int, 16);
-    for (int I = 0; I < 3; ++I)
+    Arr = M.createGlobal("arr", TypeKind::Int, Opts.ArrayElems);
+    for (unsigned I = 0; I < Opts.Pointers; ++I)
       Pointers.push_back(
           M.createGlobal("p" + std::to_string(I), TypeKind::Int));
 
@@ -67,7 +127,8 @@ public:
     FloatTemps.push_back(
         B.emitAssign(Opcode::Copy, Operand::constFloat(1.0)));
 
-    genStatements(14 + Rng.nextBelow(10), /*Depth=*/0);
+    genStatements(Opts.MinStmts + Rng.nextBelow(Opts.ExtraStmts),
+                  /*IfDepth=*/0, /*LoopDepth=*/0);
 
     // Observability tail: print every scalar.
     for (Symbol *G : IntScalars) {
@@ -78,9 +139,8 @@ public:
       unsigned T = B.emitLoad(directRef(F));
       B.emitPrint(Operand::temp(T));
     }
-    for (int I = 0; I < 16; I += 5) {
-      unsigned T =
-          B.emitLoad(arrayRef(Arr, ir::Operand::constInt(I)));
+    for (unsigned I = 0; I < Opts.ArrayElems; I += 5) {
+      unsigned T = B.emitLoad(arrayRef(Arr, ir::Operand::constInt(I)));
       B.emitPrint(Operand::temp(T));
     }
     B.setRet();
@@ -109,11 +169,11 @@ private:
     case 0:
       return directRef(IntScalars[Rng.nextBelow(IntScalars.size())]);
     case 1:
-      return arrayRef(Arr, Operand::constInt(Rng.nextBelow(16)));
+      return arrayRef(Arr, Operand::constInt(Rng.nextBelow(Opts.ArrayElems)));
     case 2: {
       // Masked dynamic index.
       unsigned TIdx = B.emitAssign(Opcode::And, randomIntOperand(),
-                                   Operand::constInt(15));
+                                   Operand::constInt(Opts.ArrayElems - 1));
       return arrayRef(Arr, Operand::temp(TIdx));
     }
     default:
@@ -129,17 +189,18 @@ private:
       TAddr =
           B.emitAddrOf(IntScalars[Rng.nextBelow(IntScalars.size())]);
     } else {
-      TAddr = B.emitAddrOf(Arr, Operand::constInt(Rng.nextBelow(16)));
+      TAddr = B.emitAddrOf(Arr,
+                           Operand::constInt(Rng.nextBelow(Opts.ArrayElems)));
     }
     B.emitStore(directRef(P), Operand::temp(TAddr));
   }
 
-  void genStatements(uint64_t Count, unsigned Depth) {
+  void genStatements(uint64_t Count, unsigned IfDepth, unsigned LoopDepth) {
     for (uint64_t I = 0; I < Count; ++I)
-      genStatement(Depth);
+      genStatement(IfDepth, LoopDepth);
   }
 
-  void genStatement(unsigned Depth) {
+  void genStatement(unsigned IfDepth, unsigned LoopDepth) {
     using namespace ir;
     switch (Rng.nextBelow(12)) {
     case 0: { // int arithmetic
@@ -179,12 +240,15 @@ private:
     case 7: // pointer retarget
       retargetPointer(Pointers[Rng.nextBelow(Pointers.size())]);
       break;
-    case 8: // call
-      IntTemps.push_back(B.emitCall(Helper, {randomIntOperand()}));
+    case 8: // call (or plain load when the shape disables calls)
+      if (Opts.UseHelperCalls)
+        IntTemps.push_back(B.emitCall(Helper, {randomIntOperand()}));
+      else
+        IntTemps.push_back(B.emitLoad(randomIntRef()));
       break;
     case 9: { // if
-      if (Depth >= 3) {
-        genStatement(Depth); // too deep: substitute something simple
+      if (IfDepth >= Opts.MaxIfDepth) {
+        genStatement(IfDepth, LoopDepth); // too deep: substitute
         break;
       }
       unsigned TCond = B.emitAssign(Opcode::And, randomIntOperand(),
@@ -196,13 +260,13 @@ private:
       B.setCondBr(Operand::temp(TCond), Then, Else);
       size_t SavedInt = IntTemps.size(), SavedFloat = FloatTemps.size();
       B.setBlock(Then);
-      genStatements(1 + Rng.nextBelow(4), Depth + 1);
+      genStatements(1 + Rng.nextBelow(4), IfDepth + 1, LoopDepth);
       B.setBr(Join);
       // Temps defined inside a branch do not dominate the join.
       IntTemps.resize(SavedInt);
       FloatTemps.resize(SavedFloat);
       B.setBlock(Else);
-      genStatements(1 + Rng.nextBelow(3), Depth + 1);
+      genStatements(1 + Rng.nextBelow(3), IfDepth + 1, LoopDepth);
       B.setBr(Join);
       IntTemps.resize(SavedInt);
       FloatTemps.resize(SavedFloat);
@@ -210,8 +274,8 @@ private:
       break;
     }
     case 10: { // bounded loop
-      if (Depth >= 2) {
-        genStatement(Depth);
+      if (LoopDepth >= Opts.MaxLoopDepth) {
+        genStatement(IfDepth, LoopDepth);
         break;
       }
       ir::Symbol *IVar = M.createGlobal(
@@ -231,7 +295,7 @@ private:
       size_t SavedInt = IntTemps.size(), SavedFloat = FloatTemps.size();
       B.setBlock(Body);
       IntTemps.push_back(TI);
-      genStatements(2 + Rng.nextBelow(5), Depth + 1);
+      genStatements(2 + Rng.nextBelow(5), IfDepth, LoopDepth + 1);
       unsigned TI2 = B.emitLoad(directRef(IVar));
       unsigned TInc = B.emitAssign(Opcode::Add, Operand::temp(TI2),
                                    Operand::constInt(1));
@@ -256,6 +320,7 @@ private:
   ir::Module &M;
   ir::IRBuilder B;
   RNG Rng;
+  GenOptions Opts;
   std::vector<ir::Symbol *> IntScalars, FloatScalars, Pointers;
   ir::Symbol *Arr = nullptr;
   ir::Function *Helper = nullptr;
@@ -263,11 +328,18 @@ private:
   unsigned Counter = 0;
 };
 
-/// Builds a random, terminating, verifier-clean program from \p Seed.
+/// Builds a random, terminating, verifier-clean program from \p Seed
+/// with the default shape (the historic test-suite generator).
 inline void buildRandomProgram(ir::Module &M, uint64_t Seed) {
   RandomProgramBuilder(M, Seed).build();
 }
 
-} // namespace srp::testing
+/// Builds a program from an explicit (shape, program seed) pair.
+inline void buildRandomProgram(ir::Module &M, uint64_t Seed,
+                               const GenOptions &Opts) {
+  RandomProgramBuilder(M, Seed, Opts).build();
+}
 
-#endif // SRP_TESTS_RANDOMPROGRAM_H
+} // namespace srp::fuzz
+
+#endif // SRP_FUZZ_RANDOMPROGRAM_H

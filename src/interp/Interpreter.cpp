@@ -21,8 +21,8 @@ namespace srp::interp {
 class Execution {
 public:
   Execution(const ir::Module &M, AliasProfile *AP, EdgeProfile *EP,
-            AlatObserver *AO, uint64_t Fuel)
-      : M(M), AP(AP), EP(EP), AO(AO), FuelLeft(Fuel) {}
+            AlatObserver *AO, MemTrace *MT, uint64_t Fuel)
+      : M(M), AP(AP), EP(EP), AO(AO), MT(MT), FuelLeft(Fuel) {}
 
   RunResult run() {
     RunResult Result;
@@ -31,6 +31,8 @@ public:
       Result.Error = "module has no main function";
       return Result;
     }
+    if (MT)
+      *MT = MemTrace();
     layoutGlobals();
     uint64_t RetBits = 0;
     if (!callFunction(*Main, {}, RetBits)) {
@@ -38,6 +40,12 @@ public:
       Result.Output = std::move(Output);
       return Result;
     }
+    if (MT)
+      for (const Symbol *Global : M.globals()) {
+        uint64_t Base = GlobalAddr[Global];
+        for (unsigned I = 0; I < Global->NumElems; ++I)
+          MT->FinalGlobals.push_back(read64(Base + 8 * I));
+      }
     Result.Ok = true;
     Result.Output = std::move(Output);
     Result.StmtsExecuted = StmtsExecuted;
@@ -86,10 +94,17 @@ private:
   const BasicBlock *execBlock(Frame &Fr, const BasicBlock *BB,
                               uint64_t &RetBits);
 
+  void recordAccess(uint64_t Addr, bool IsLoad, bool Speculative) {
+    if (MT)
+      MT->Accesses.push_back(
+          MemTrace::Access{Addr, symbolAt(Addr), IsLoad, Speculative});
+  }
+
   const ir::Module &M;
   AliasProfile *AP;
   EdgeProfile *EP;
   AlatObserver *AO;
+  MemTrace *MT;
   uint64_t FuelLeft;
   /// Address of the cell the last chain pointer was loaded from; set by
   /// computeAccessAddress for indirect references. This is the address an
@@ -272,10 +287,12 @@ uint64_t Execution::computeAccessAddress(Frame &Fr, const Stmt &S,
   int64_t Extra = Ref.Offset;
   if (Ref.hasIndex())
     Extra += static_cast<int64_t>(evalOperand(Fr, Ref.Index)) * 8;
+  bool SpecChain = S.Kind == StmtKind::Load && isAdvancedFlag(S.Flag);
   ChainPtr = Addr;
   for (unsigned Level = 1; Level <= Ref.Depth; ++Level) {
     if (Level == Ref.Depth)
       LastChainSlot = Addr;
+    recordAccess(Addr, /*IsLoad=*/true, SpecChain);
     Addr = read64(Addr);
     ++LoadsExecuted;
     ChainPtr = Addr;
@@ -310,6 +327,10 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
                                        uint64_t &RetBits) {
   if (EP)
     EP->countBlock(BB);
+  // Entering a block costs one fuel unit on its own: a cycle of
+  // statement-free blocks must still exhaust the budget eventually.
+  if (Trapped || !consumeFuel())
+    return nullptr;
   for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
     if (Trapped || !consumeFuel())
       return nullptr;
@@ -345,6 +366,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
       if (S.AddrDst != NoTemp)
         Fr.Temps[S.AddrDst] = S.Ref.isIndirect() ? ChainPtr : Addr;
       uint64_t RegPre = Fr.Temps[S.Dst];
+      recordAccess(Addr, /*IsLoad=*/true, isAdvancedFlag(S.Flag));
       uint64_t Value = read64(Addr);
       Fr.Temps[S.Dst] = Value;
       ++LoadsExecuted;
@@ -382,6 +404,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
       uint64_t Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
       if (S.AddrDst != NoTemp)
         Fr.Temps[S.AddrDst] = Addr; // stores expose the final address
+      recordAccess(Addr, /*IsLoad=*/false, /*Speculative=*/false);
       write64(Addr, evalOperand(Fr, S.A));
       ++StoresExecuted;
       if (AO) {
@@ -503,6 +526,6 @@ bool Execution::callFunction(const Function &F,
 }
 
 RunResult Interpreter::run(uint64_t Fuel) {
-  Execution Exec(M, AP, EP, AO, Fuel);
+  Execution Exec(M, AP, EP, AO, MT, Fuel);
   return Exec.run();
 }

@@ -48,6 +48,31 @@ struct RunResult {
 
 class AlatObserver;
 
+/// Observable memory behaviour of one run, filled when a trace sink is
+/// attached (Interpreter::setMemTrace). The differential oracle
+/// (valid::DiffOracle) compares promoted against unpromoted runs on this:
+/// final memory state, and — for the SNIP-style non-interference check —
+/// which objects speculative (advanced-flagged) loads observed.
+struct MemTrace {
+  struct Access {
+    uint64_t Addr = 0;
+    /// Symbol whose storage the access landed in, or
+    /// AliasProfile::UnknownTarget for an address outside every object.
+    unsigned Symbol = 0;
+    bool IsLoad = false;
+    /// True for loads executed under an advanced flag (ld.a / ld.sa),
+    /// including the pointer-chain dereferences such a load performs:
+    /// these may execute with a value the architectural program would
+    /// not have used, so their addresses are the speculative
+    /// observations promotion introduces.
+    bool Speculative = false;
+  };
+  std::vector<Access> Accesses;
+  /// Final value of every global cell after the run, in declaration
+  /// order (each global contributes NumElems consecutive cells).
+  std::vector<uint64_t> FinalGlobals;
+};
+
 /// Direct executor for the IR.
 class Interpreter {
 public:
@@ -63,6 +88,10 @@ public:
   /// run's speculation against an adversarial hardware model.
   void setAlatObserver(AlatObserver *Observer) { AO = Observer; }
 
+  /// Attaches a memory-trace sink recording every access and the final
+  /// global state (cleared at the start of each run).
+  void setMemTrace(MemTrace *Trace) { MT = Trace; }
+
   /// Runs main() with at most \p Fuel statements; resets memory first.
   RunResult run(uint64_t Fuel = 100'000'000);
 
@@ -73,6 +102,7 @@ private:
   AliasProfile *AP = nullptr;
   EdgeProfile *EP = nullptr;
   AlatObserver *AO = nullptr;
+  MemTrace *MT = nullptr;
 };
 
 } // namespace srp::interp

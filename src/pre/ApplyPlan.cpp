@@ -133,6 +133,11 @@ void detail::applyPlan(PromotionContext &Ctx) {
           Blk->insertAfter(SI, std::move(Ld));
           ++Ctx.Stats.AdvancedLoads;
         } else {
+          // No ALAT entry wanted, but software compares still need the
+          // web's address temp live: expose the store's address so the
+          // pairs after later ambiguous stores compare against it.
+          if (R.AddrTemp != NoTemp)
+            R.S->AddrDst = R.AddrTemp;
           Stmt Copy;
           Copy.Kind = StmtKind::Assign;
           Copy.Op = Opcode::Copy;

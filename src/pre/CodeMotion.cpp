@@ -20,21 +20,23 @@ using namespace srp::pre::detail;
 
 namespace {
 
-/// Collects every collapsible χ on the version-collapse chain from
-/// \p FromVer down to the nearest *capture points* (\p StopVers: raw
-/// versions at saved defs and edge insertions) of \p Obj — these are
-/// exactly the stores the reuse is speculated across and therefore the
-/// places check statements must follow. φs fan out into all arguments;
-/// φs pinned to themselves (real merges) and non-collapsible χs end a
-/// chain.
-void collectCrossedChis(const PromotionContext &Ctx, ObjectId Obj,
+/// Collects every collapsible χ on the version chain from \p FromVer
+/// down to the nearest *capture points* (\p StopVers: raw versions at
+/// saved defs and edge insertions) of \p Obj — these are exactly the
+/// stores the reuse is speculated across and therefore the places check
+/// statements must follow. φs fan out into all arguments: a pinned φ (a
+/// real merge) still feeds the reuse through every arm, so each arm's
+/// stores need checks just like an in-web arm's. Returns false when some
+/// chain ends anywhere other than a capture point — a value reaches the
+/// reuse that the promoted temp never captured, so no set of checks can
+/// make the rewrite sound and the caller must drop the reuse.
+bool collectCrossedChis(const PromotionContext &Ctx, ObjectId Obj,
                         unsigned FromVer,
                         const std::set<unsigned> &StopVers, bool DataLevel,
                         std::vector<const ChiRecord *> &Out) {
-  const auto &Canon =
-      DataLevel ? Ctx.CanonData[Obj] : Ctx.CanonAddr[Obj];
   std::set<unsigned> Visited;
   std::vector<unsigned> Work{FromVer};
+  bool AllCaptured = true;
   while (!Work.empty()) {
     unsigned Ver = Work.back();
     Work.pop_back();
@@ -51,18 +53,17 @@ void collectCrossedChis(const PromotionContext &Ctx, ObjectId Obj,
       const ChiRecord &Chi = Ctx.H.chi(O.ChiIndex);
       bool Collapsible = DataLevel ? Ctx.chiCollapsibleData(Chi)
                                    : Ctx.chiCollapsibleAddr(Chi);
-      if (!Collapsible)
-        break; // Chain broken; nothing to speculate across here.
+      if (!Collapsible) {
+        // The reuse would read through a may-def no check can cover.
+        AllCaptured = false;
+        break;
+      }
       if (std::find(Out.begin(), Out.end(), &Chi) == Out.end())
         Out.push_back(&Chi);
       Work.push_back(Chi.UseVer);
       break;
     }
     case VersionOrigin::Kind::Phi: {
-      // A φ pinned to itself is a real merge: values arriving here differ
-      // and the merge is not part of this version's collapse web.
-      if (Canon[Ver] == Ver)
-        break;
       const auto &Phis2 = Ctx.H.phisOf(O.BB);
       if (O.PhiIndex < Phis2.size())
         for (unsigned Arg : Phis2[O.PhiIndex].Args)
@@ -71,9 +72,13 @@ void collectCrossedChis(const PromotionContext &Ctx, ObjectId Obj,
     }
     case VersionOrigin::Kind::LiveIn:
     case VersionOrigin::Kind::RealDef:
+      // An uncaptured value source: on this path the temp was never
+      // written with the expression's current value.
+      AllCaptured = false;
       break;
     }
   }
+  return AllCaptured;
 }
 
 } // namespace
@@ -170,23 +175,54 @@ void detail::planCodeMotion(PromotionContext &Ctx, ExprInfo &E,
            W.Phis[W.Vers[V.RefinesVer].PhiId].willBeAvail();
   };
 
-  // Capture points per level: raw versions at which the promoted temp is
-  // (re)written with the expression's value — saved real defs (not
-  // superseded refinements), edge insertions, and invala-mode checking
-  // loads.
-  std::vector<std::set<unsigned>> StopVers(E.Constituents.size());
-  auto AddStops = [&](const std::vector<unsigned> &Raw) {
-    for (size_t L = 0; L < Raw.size(); ++L)
-      StopVers[L].insert(Raw[L]);
+  // Capture points per reuse *version*: the raw signatures at which the
+  // promoted temp is (re)written on the paths that define that version —
+  // its real def, or recursively its Φ's operand defs and the planned
+  // edge insertions. A flat per-expression stop set would be wrong: a
+  // capture somewhere below the reuse can carry the same raw version at
+  // one level and mask the χs the reuse actually crosses.
+  std::map<unsigned, std::vector<std::set<unsigned>>> CaptureStops;
+  auto captureStopsFor =
+      [&](unsigned RootVer) -> const std::vector<std::set<unsigned>> & {
+    auto It = CaptureStops.find(RootVer);
+    if (It != CaptureStops.end())
+      return It->second;
+    std::vector<std::set<unsigned>> Stops(E.Constituents.size());
+    auto Add = [&](const std::vector<unsigned> &Raw) {
+      for (size_t L = 0; L < Raw.size() && L < Stops.size(); ++L)
+        Stops[L].insert(Raw[L]);
+    };
+    std::set<unsigned> Seen{RootVer};
+    std::vector<unsigned> Pending{RootVer};
+    while (!Pending.empty()) {
+      unsigned Ver = Pending.back();
+      Pending.pop_back();
+      const ExprVer &V = W.Vers[Ver];
+      if (V.Kind == ExprVer::DefKind::Real) {
+        // A superseded refinement is an ordinary reuse, not a capture;
+        // the temp's value there comes from the Φ it refines.
+        if (RefinementSuperseded(V)) {
+          if (Seen.insert(V.RefinesVer).second)
+            Pending.push_back(V.RefinesVer);
+        } else {
+          Add(V.RawSig);
+        }
+        continue;
+      }
+      const ExprPhi &Phi = W.Phis[V.PhiId];
+      for (size_t PI = 0; PI < Phi.Operands.size(); ++PI) {
+        unsigned Op = Phi.Operands[PI];
+        bool Inserted =
+            Op == ~0u || (W.Vers[Op].Kind == ExprVer::DefKind::Phi &&
+                          !W.Phis[W.Vers[Op].PhiId].willBeAvail());
+        if (Inserted)
+          Add(Ctx.rawSigAtExit(E, Phi.BB->preds()[PI]));
+        else if (Seen.insert(Op).second)
+          Pending.push_back(Op);
+      }
+    }
+    return CaptureStops.emplace(RootVer, std::move(Stops)).first->second;
   };
-  for (unsigned Ver : SavedVersions)
-    if (W.Vers[Ver].Kind == ExprVer::DefKind::Real &&
-        !RefinementSuperseded(W.Vers[Ver]))
-      AddStops(W.Vers[Ver].RawSig);
-  for (const PlannedInsert &PI : Inserts)
-    AddStops(Ctx.rawSigAtExit(E, PI.Phi->BB->preds()[PI.OperandIdx]));
-  for (unsigned OI : InvalaOccs)
-    AddStops(Ctx.rawSigOfOcc(E, E.Occs[OI]));
 
   //===--------------------------------------------------------------===//
   // Phase B: per-reuse crossed-χ analysis and check planning.
@@ -202,6 +238,8 @@ void detail::planCodeMotion(PromotionContext &Ctx, ExprInfo &E,
   for (unsigned OI : AvailReuses) {
     Occurrence &O = E.Occs[OI];
     std::vector<unsigned> ReuseRaw = Ctx.rawSigOfOcc(E, O);
+    const std::vector<std::set<unsigned>> &StopVers =
+        captureStopsFor(O.Version);
     std::vector<const ChiRecord *> OccAlat, OccSoft;
     bool OccCascade = false;
     bool Feasible = true;
@@ -209,8 +247,11 @@ void detail::planCodeMotion(PromotionContext &Ctx, ExprInfo &E,
       bool IsData = L + 1 == ReuseRaw.size();
       ObjectId Obj = E.Constituents[L];
       std::vector<const ChiRecord *> Crossed;
-      collectCrossedChis(Ctx, Obj, ReuseRaw[L], StopVers[L], IsData,
-                         Crossed);
+      if (!collectCrossedChis(Ctx, Obj, ReuseRaw[L], StopVers[L], IsData,
+                              Crossed)) {
+        Feasible = false;
+        break;
+      }
       for (const ChiRecord *Chi : Crossed) {
         if (!IsData) {
           OccCascade = true;
@@ -225,6 +266,13 @@ void detail::planCodeMotion(PromotionContext &Ctx, ExprInfo &E,
                    Chi->S->Ref.ValueType == E.Ref.ValueType &&
                    !OccCascade && !E.Ref.Index.isTemp()) {
           OccSoft.push_back(Chi);
+        } else if (Ctx.Config.EnableAlat) {
+          // The profile predicts this store aliases (or never saw it), so
+          // the speculation is not expected to be free — but a chk.a is
+          // still *correct*: the ALAT validates the address at run time
+          // and the recovery reload repairs any actual collision. Paying
+          // a possible recovery beats abandoning the whole reuse web.
+          OccAlat.push_back(Chi);
         } else {
           Feasible = false;
           break;
@@ -270,8 +318,10 @@ void detail::planCodeMotion(PromotionContext &Ctx, ExprInfo &E,
   // Feasibility may have dropped every reuse of some version web; the
   // insertions and def rewrites planned for those webs would be pure
   // cost (inserted loads nobody consumes). A web is identified by the
-  // canonical signature, which crossed-χ walks never leave, so dropping
-  // whole unused webs cannot invalidate the capture analysis above.
+  // canonical signature. Crossed-χ walks leave a web only through a
+  // pinned heap φ, whose arms correspond to expression-Φ operand edges —
+  // and the Φ-operand closure below keeps those webs — so dropping the
+  // remaining unused webs cannot invalidate the capture analysis above.
   std::set<std::vector<unsigned>> UsedWebs;
   for (unsigned OI : AvailReuses)
     if (RewriteOcc[OI])

@@ -69,8 +69,10 @@ CopyPropStats srp::pre::propagateCopies(ir::Function &F) {
         Invalidate(S->AddrDst);
       if (S->Kind == StmtKind::Store && S->AlatDst != NoTemp)
         Invalidate(S->AlatDst);
+      // Skip self-copies (a rewritten `t = copy t`): recording t->t would
+      // put a cycle in the map and send chase() spinning.
       if (S->Kind == StmtKind::Assign && S->Op == Opcode::Copy &&
-          S->A.isTemp())
+          S->A.isTemp() && S->A.TempId != S->Dst)
         CopyOf[S->Dst] = S->A.TempId;
     }
     Rewrite(BB->term().Cond);

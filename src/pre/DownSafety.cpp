@@ -78,11 +78,14 @@ void detail::computeDownSafety(PromotionContext &Ctx, const ExprInfo &E,
   for (ExprPhi &Phi : W.Phis)
     Phi.DownSafe = Antic[Phi.BB->getId()];
   // Insertions driven by a Φ outside the index temp's dominance region
-  // would load through an undefined index; forbid them.
+  // would load through an undefined index; forbid them. Dominating every
+  // insertion edge needs *strict* dominance: a Φ in the def's own block
+  // evaluates at block entry, before the def runs.
   std::vector<char> PhiPinned(W.Phis.size(), 0);
   if (E.IndexTemp != NoTemp && Ctx.TempDefBlock[E.IndexTemp])
     for (size_t PhiI = 0; PhiI < W.Phis.size(); ++PhiI)
-      if (!Ctx.DT.dominates(Ctx.TempDefBlock[E.IndexTemp],
+      if (Ctx.TempDefBlock[E.IndexTemp] == W.Phis[PhiI].BB ||
+          !Ctx.DT.dominates(Ctx.TempDefBlock[E.IndexTemp],
                             W.Phis[PhiI].BB)) {
         W.Phis[PhiI].DownSafe = false;
         W.Phis[PhiI].CanBeAvail = false;

@@ -1,0 +1,114 @@
+//===- DiffOracle.h - Differential translation validation -------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle behind the fuzzer and the replay tests. One
+/// oracle run takes a program (an IRBuilder callback or .sir text) and a
+/// pipeline config, and checks the whole promotion story:
+///
+///  1. *Reference semantics*: interpret the unpromoted module, recording
+///     output, exit value, final global memory, and every access.
+///  2. *Promoted semantics*: run the module-mode pipeline (profile →
+///     promote → verify → lower → allocate → simulate), then interpret
+///     the promoted IR the same way. Output, exit value, and final
+///     global state must all match the reference.
+///  3. *Speculative non-interference* (the SNIP-style check): every load
+///     executed under an advanced flag in the promoted run must land
+///     inside an object the *unpromoted* run touched. Promotion may
+///     reorder and re-execute loads, but it must not make the program
+///     observe memory the original program never observed — a
+///     speculative access outside every touched object is a wild read
+///     introduced by the compiler.
+///  4. *Recovery correctness under faults*: re-simulate the same binary
+///     under each requested arch::FaultPlan (spurious ALAT
+///     invalidations, capacity squeezes, forced check misses). Faults
+///     only ever force the conservative direction — reload or recovery
+///     — so a correct compiler/simulator pair must still produce the
+///     reference output under every schedule.
+///
+/// Any disagreement is a finding; OracleReport says which check failed
+/// and under which fault schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_VALID_DIFFORACLE_H
+#define SRP_VALID_DIFFORACLE_H
+
+#include "arch/FaultPlan.h"
+#include "core/Pipeline.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srp::ir {
+class Module;
+} // namespace srp::ir
+
+namespace srp::valid {
+
+/// Which of the oracle's checks failed.
+enum class MismatchKind : uint8_t {
+  None,               ///< Everything agreed.
+  InvalidInput,       ///< Parse/verify failed before any run (not a
+                      ///< promotion bug; srp-fuzz treats generator
+                      ///< output that lands here as a finding).
+  BaseRunFailed,      ///< The unpromoted interpretation trapped.
+  PipelineError,      ///< Compile or reference simulation failed.
+  PromotedRunFailed,  ///< The promoted interpretation trapped.
+  OutputDiverged,     ///< Printed output differs (interpreter level).
+  ExitDiverged,       ///< main's return value differs.
+  FinalStateDiverged, ///< Final global memory differs.
+  SpecLeak,           ///< Speculative load outside base-touched objects.
+  SimDiverged,        ///< Simulated run disagrees (possibly under faults).
+};
+
+const char *mismatchKindName(MismatchKind K);
+
+/// What to run and what to mutate. Config.SpecVerify should be Fatal for
+/// fuzzing so static-discipline violations surface as PipelineError.
+struct OracleOptions {
+  core::PipelineConfig Config;
+  /// Fault schedules to re-simulate the compiled binary under (disabled
+  /// plans are skipped).
+  std::vector<arch::FaultPlan> FaultPlans;
+  /// Test hook, run on the *promoted* module before the interpreter-level
+  /// checks (the negative tests use it to sabotage promotion and assert
+  /// the oracle notices). Returns an error string, empty on success.
+  std::function<std::string(ir::Module &)> Transform;
+};
+
+/// Outcome of one oracle run.
+struct OracleReport {
+  bool Ok = false;
+  MismatchKind Kind = MismatchKind::None;
+  std::string Detail;       ///< Human diagnostic for the failed check.
+  std::string FaultContext; ///< FaultPlan::describe() when a fault run
+                            ///< failed; empty otherwise.
+  /// Evidence the run exercised speculation (tests assert on these).
+  uint64_t SpeculativeAccesses = 0;
+  unsigned FaultPlansRun = 0;
+  pre::PromotionStats Promotion;
+  arch::AlatStats Alat; ///< From the no-fault simulation.
+};
+
+/// Builds a module (deterministically — the oracle materializes the
+/// program twice and compares across the two copies).
+using ModuleBuilder = std::function<void(ir::Module &)>;
+
+/// Runs every check against the program \p Build constructs.
+OracleReport runDiffOracle(const ModuleBuilder &Build,
+                           const OracleOptions &Opts);
+
+/// Same, for textual IR (.sir). Parse failures report InvalidInput with
+/// the parser's "line N:" diagnostic.
+OracleReport runDiffOracleOnText(std::string_view Text,
+                                 const OracleOptions &Opts);
+
+} // namespace srp::valid
+
+#endif // SRP_VALID_DIFFORACLE_H

@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "fuzz/RandomProgram.h"
 
 #include "alias/AliasAnalysis.h"
 #include "arch/Simulator.h"
@@ -62,7 +62,7 @@ TEST_P(RandomDifferential, AllStrategiesMatchOracle) {
 
   // Oracle.
   Module Ref;
-  srp::testing::buildRandomProgram(Ref, Seed);
+  srp::fuzz::buildRandomProgram(Ref, Seed);
   {
     auto Errors = verifyModule(Ref);
     ASSERT_TRUE(Errors.empty()) << Errors[0];
@@ -76,7 +76,7 @@ TEST_P(RandomDifferential, AllStrategiesMatchOracle) {
   for (const StrategyCase &S : strategies()) {
     SCOPED_TRACE(S.Name);
     Module M;
-    srp::testing::buildRandomProgram(M, Seed);
+    srp::fuzz::buildRandomProgram(M, Seed);
     for (unsigned I = 0; I < M.numFunctions(); ++I)
       M.function(I)->recomputeCFG();
 
@@ -122,7 +122,7 @@ TEST_P(RandomTinyRegs, SpillsPreserveSemantics) {
   uint64_t Seed = static_cast<uint64_t>(GetParam()) * 104729 + 3;
 
   Module Ref;
-  srp::testing::buildRandomProgram(Ref, Seed);
+  srp::fuzz::buildRandomProgram(Ref, Seed);
   for (unsigned I = 0; I < Ref.numFunctions(); ++I)
     Ref.function(I)->recomputeCFG();
   Interpreter OracleInterp(Ref);
@@ -130,7 +130,7 @@ TEST_P(RandomTinyRegs, SpillsPreserveSemantics) {
   ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
 
   Module M;
-  srp::testing::buildRandomProgram(M, Seed);
+  srp::fuzz::buildRandomProgram(M, Seed);
   for (unsigned I = 0; I < M.numFunctions(); ++I)
     M.function(I)->recomputeCFG();
   AliasProfile AP;

@@ -15,7 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "fuzz/RandomProgram.h"
 
 #include "alias/AliasAnalysis.h"
 #include "analysis/SpecVerifier.h"
@@ -351,7 +351,7 @@ std::vector<pre::PromotionConfig> alatFamily() {
 /// promoter used so the verifier can share its verdicts.
 std::unique_ptr<alias::AliasAnalysis> promoteRandom(Module &M,
                                                     uint64_t Seed) {
-  srp::testing::buildRandomProgram(M, Seed);
+  srp::fuzz::buildRandomProgram(M, Seed);
   for (unsigned I = 0; I < M.numFunctions(); ++I)
     M.function(I)->recomputeCFG();
   interp::AliasProfile AP;

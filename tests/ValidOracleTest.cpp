@@ -1,0 +1,217 @@
+//===- ValidOracleTest.cpp - Differential oracle unit tests -----*- C++ -*-===//
+//
+// The oracle is only trustworthy if it (a) accepts correct pipelines and
+// (b) notices deliberately broken ones. The negative tests here sabotage
+// the promoted module through the Transform hook and assert the oracle
+// reports the right MismatchKind — a regression that silences one of
+// these checks would silently blind the whole fuzzing campaign.
+//
+//===----------------------------------------------------------------------===//
+
+#include "valid/DiffOracle.h"
+
+#include "ir/CFG.h"
+#include "ir/Stmt.h"
+
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::valid;
+
+namespace {
+
+/// A program whose final state, output, and speculation behaviour are all
+/// interesting: `g` is redundantly loaded across a store through a
+/// pointer the profile never sees aliasing it, so the ALAT config
+/// promotes the second load into a checked reuse.
+const char *SpecProgram = R"(
+global g : int
+global h : int
+global p : int
+global quiet : int
+global untouched : int
+
+func main() {
+entry:
+  t0 = addrof h
+  st p = t0
+  st quiet = 41
+  st g = 3
+  t1 = ld g
+  st *p = 5
+  t2 = ld g
+  t3 = add t1, t2
+  print t3
+  ret
+}
+)";
+
+OracleOptions optionsFor(const pre::PromotionConfig &Promotion) {
+  OracleOptions Opts;
+  Opts.Config = core::configFor(Promotion);
+  Opts.Config.SpecVerify = core::SpecVerifyMode::Fatal;
+  return Opts;
+}
+
+TEST(DiffOracle, CleanProgramPassesEveryStrategy) {
+  for (const auto &Promotion :
+       {pre::PromotionConfig::conservative(), pre::PromotionConfig::baselineO3(),
+        pre::PromotionConfig::alat()}) {
+    OracleReport R = runDiffOracleOnText(SpecProgram, optionsFor(Promotion));
+    EXPECT_TRUE(R.Ok) << mismatchKindName(R.Kind) << ": " << R.Detail;
+    EXPECT_EQ(R.Kind, MismatchKind::None);
+  }
+}
+
+TEST(DiffOracle, AlatStrategyActuallySpeculates) {
+  OracleReport R =
+      runDiffOracleOnText(SpecProgram, optionsFor(pre::PromotionConfig::alat()));
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_GT(R.Promotion.PromotedExprs, 0u)
+      << "test program no longer triggers promotion; the negative tests "
+         "below would be vacuous";
+}
+
+TEST(DiffOracle, BuilderEntryPoint) {
+  OracleOptions Opts = optionsFor(pre::PromotionConfig::baselineO3());
+  OracleReport R = runDiffOracle(
+      [](ir::Module &M) {
+        ir::Symbol *G = M.createGlobal("g", ir::TypeKind::Int);
+        ir::Function *F = M.createFunction("main");
+        ir::BasicBlock *BB = F->createBlock("entry");
+        ir::Stmt St;
+        St.Kind = ir::StmtKind::Store;
+        St.Ref = ir::directRef(G);
+        St.A = ir::Operand::constInt(9);
+        BB->append(std::move(St));
+        ir::Stmt Ld;
+        Ld.Kind = ir::StmtKind::Load;
+        Ld.Ref = ir::directRef(G);
+        Ld.Dst = F->createTemp(ir::TypeKind::Int);
+        unsigned T = Ld.Dst;
+        BB->append(std::move(Ld));
+        ir::Stmt Pr;
+        Pr.Kind = ir::StmtKind::Print;
+        Pr.A = ir::Operand::temp(T);
+        BB->append(std::move(Pr));
+        BB->term().Kind = ir::TermKind::Ret;
+        F->recomputeCFG();
+      },
+      Opts);
+  EXPECT_TRUE(R.Ok) << mismatchKindName(R.Kind) << ": " << R.Detail;
+}
+
+TEST(DiffOracle, ParseErrorReportsInvalidInput) {
+  OracleReport R = runDiffOracleOnText(
+      "global g : int\nfunc main() {\nentry:\n  t0 = frobnicate g\n  ret\n}\n",
+      optionsFor(pre::PromotionConfig::conservative()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, MismatchKind::InvalidInput);
+  EXPECT_NE(R.Detail.find("line"), std::string::npos) << R.Detail;
+}
+
+/// Erases the first store in main matching (base symbol name, depth).
+std::string eraseStore(ir::Module &M, std::string_view Name, unsigned Depth) {
+  ir::Function *Main = M.findFunction("main");
+  if (!Main)
+    return "no main";
+  for (unsigned BI = 0; BI < Main->numBlocks(); ++BI) {
+    ir::BasicBlock *BB = Main->block(BI);
+    for (size_t SI = 0; SI < BB->size(); ++SI) {
+      const ir::Stmt *S = BB->stmt(SI);
+      if (S->isStore() && S->Ref.Base && S->Ref.Base->Name == Name &&
+          S->Ref.Depth == Depth) {
+        BB->erase(SI);
+        return "";
+      }
+    }
+  }
+  return "store not found";
+}
+
+TEST(DiffOracle, DroppedStoreBehindPrintIsOutputDiverged) {
+  // `p` may point at `a` or `b` (flow-insensitively), so promotion cannot
+  // forward the `st *p` value into `ld b` — the load survives to the
+  // interpreter, and deleting the store changes the printed value.
+  static const char *TwoTarget = R"(
+global a : int
+global b : int
+global p : int
+
+func main() {
+entry:
+  t0 = addrof a
+  st p = t0
+  t1 = addrof b
+  st p = t1
+  st *p = 7
+  t2 = ld b
+  print t2
+  ret
+}
+)";
+  OracleOptions Opts = optionsFor(pre::PromotionConfig::conservative());
+  Opts.Transform = [](ir::Module &M) { return eraseStore(M, "p", 1); };
+  OracleReport R = runDiffOracleOnText(TwoTarget, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, MismatchKind::OutputDiverged) << R.Detail;
+}
+
+TEST(DiffOracle, DroppedSilentStoreIsFinalStateDiverged) {
+  // `quiet` is stored but never printed: only the final-memory sweep can
+  // notice its store went missing.
+  OracleOptions Opts = optionsFor(pre::PromotionConfig::conservative());
+  Opts.Transform = [](ir::Module &M) { return eraseStore(M, "quiet", 0); };
+  OracleReport R = runDiffOracleOnText(SpecProgram, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, MismatchKind::FinalStateDiverged) << R.Detail;
+}
+
+TEST(DiffOracle, WildAdvancedLoadIsSpecLeak) {
+  // An advanced load of a global the base run never touches must trip
+  // the non-interference check even though it changes no visible value.
+  OracleOptions Opts = optionsFor(pre::PromotionConfig::conservative());
+  Opts.Transform = [](ir::Module &M) -> std::string {
+    ir::Symbol *Untouched = nullptr;
+    for (ir::Symbol *G : M.globals())
+      if (G->Name == "untouched")
+        Untouched = G;
+    if (!Untouched)
+      return "no untouched global";
+    ir::Function *Main = M.findFunction("main");
+    if (!Main)
+      return "no main";
+    ir::Stmt Ld;
+    Ld.Kind = ir::StmtKind::Load;
+    Ld.Ref = ir::directRef(Untouched);
+    Ld.Flag = ir::SpecFlag::LdA;
+    Ld.Dst = Main->createTemp(ir::TypeKind::Int);
+    Main->entry()->insertBefore(0, std::move(Ld));
+    return "";
+  };
+  OracleReport R = runDiffOracleOnText(SpecProgram, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, MismatchKind::SpecLeak) << R.Detail;
+}
+
+TEST(DiffOracle, FaultPlansRunAndStayClean) {
+  OracleOptions Opts = optionsFor(pre::PromotionConfig::alat());
+  for (uint64_t Seed : {1ull, 2ull, 0xdeadbeefull})
+    Opts.FaultPlans.push_back(arch::FaultPlan::fromSeed(Seed));
+  OracleReport R = runDiffOracleOnText(SpecProgram, Opts);
+  EXPECT_TRUE(R.Ok) << mismatchKindName(R.Kind) << ": " << R.Detail
+                    << " [" << R.FaultContext << "]";
+  EXPECT_EQ(R.FaultPlansRun, 3u);
+}
+
+TEST(FaultPlan, SeedsAreDeterministicAndZeroIsDisabled) {
+  arch::FaultPlan A = arch::FaultPlan::fromSeed(12345);
+  arch::FaultPlan B = arch::FaultPlan::fromSeed(12345);
+  EXPECT_EQ(A.describe(), B.describe());
+  EXPECT_TRUE(A.enabled());
+  arch::FaultPlan C = arch::FaultPlan::fromSeed(54321);
+  EXPECT_NE(A.describe(), C.describe());
+  EXPECT_FALSE(arch::FaultPlan().enabled());
+}
+
+} // namespace

@@ -73,6 +73,22 @@ struct Options {
   bool WarnAsError = false;
 };
 
+/// Strict decimal parse for --opt=N values. Rejects empty, non-digit,
+/// and overflowing input — atoi's silent 0 turned typos into degenerate
+/// ALAT geometries.
+bool parseUnsignedValue(std::string_view Value, unsigned &Out) {
+  if (Value.empty() || Value.size() > 9)
+    return false;
+  unsigned V = 0;
+  for (char C : Value) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
   int First = 1;
   if (Argc > 1 && std::strcmp(Argv[1], "lint") == 0) {
@@ -108,13 +124,19 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Stats = true;
     else if (startsWith(Arg, "--disable-pass="))
       Opts.DisabledPasses.emplace_back(Arg.substr(15));
-    else if (startsWith(Arg, "--alat-entries="))
-      Opts.Sim.Alat.Entries =
-          static_cast<unsigned>(std::atoi(Arg.data() + 15));
-    else if (startsWith(Arg, "--alat-tag-bits="))
-      Opts.Sim.Alat.PartialTagBits =
-          static_cast<unsigned>(std::atoi(Arg.data() + 16));
-    else if (!startsWith(Arg, "--") && Opts.InputPath.empty())
+    else if (startsWith(Arg, "--alat-entries=")) {
+      if (!parseUnsignedValue(Arg.substr(15), Opts.Sim.Alat.Entries)) {
+        errs() << "invalid value in '" << Arg
+               << "' (expected a decimal integer)\n";
+        return false;
+      }
+    } else if (startsWith(Arg, "--alat-tag-bits=")) {
+      if (!parseUnsignedValue(Arg.substr(16), Opts.Sim.Alat.PartialTagBits)) {
+        errs() << "invalid value in '" << Arg
+               << "' (expected a decimal integer)\n";
+        return false;
+      }
+    } else if (!startsWith(Arg, "--") && Opts.InputPath.empty())
       Opts.InputPath = Arg;
     else {
       errs() << "unknown option '" << Arg << "'\n";
