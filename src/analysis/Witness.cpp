@@ -1,0 +1,173 @@
+//===- Witness.cpp - Proof witnesses for promoted webs -----------------------===//
+
+#include "analysis/Witness.h"
+
+#include "alias/AliasAnalysis.h"
+#include "ir/Printer.h"
+#include "support/Error.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace srp;
+using namespace srp::analysis;
+using namespace srp::ir;
+
+const char *analysis::witnessStatusName(Witness::Status St) {
+  switch (St) {
+  case Witness::Status::Confirmed:
+    return "CONFIRMED";
+  case Witness::Status::Refuted:
+    return "REFUTED";
+  }
+  SRP_UNREACHABLE("invalid witness status");
+}
+
+bool analysis::hasRefutedWitness(const std::vector<Witness> &Ws) {
+  return std::any_of(Ws.begin(), Ws.end(), [](const Witness &W) {
+    return W.St == Witness::Status::Refuted;
+  });
+}
+
+std::vector<Witness>
+analysis::buildWitnesses(ir::Module &M, const TaintFlow &TF,
+                         const std::vector<SpecDiag> &SpecDiags,
+                         const interp::TaintTrace *Dyn) {
+  std::vector<Witness> Out;
+  for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
+    ir::Function &F = *M.function(FI);
+    for (unsigned BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+      const BasicBlock *BB = F.block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+        const Stmt &C = *BB->stmt(SI);
+        if (C.Kind != StmtKind::Load || !isCheckFlag(C.Flag))
+          continue;
+
+        Witness W;
+        W.FunctionName = F.getName();
+        W.CheckKind = specFlagName(C.Flag);
+        W.CheckText = stmtToString(C);
+        W.CheckLine = C.Line;
+        W.Temp = C.Dst;
+        W.RefText = memRefToString(C.Ref);
+
+        // The web: every advanced load in the function arming the same
+        // promoted register, i.e. the anchors this check commits.
+        std::set<unsigned> WebLines;
+        WebLines.insert(C.Line);
+        for (unsigned BJ = 0; BJ != BE; ++BJ) {
+          const BasicBlock *BA = F.block(BJ);
+          for (size_t SJ = 0, SN = BA->size(); SJ != SN; ++SJ) {
+            const Stmt &A = *BA->stmt(SJ);
+            if (A.Kind == StmtKind::Load && isAdvancedFlag(A.Flag) &&
+                A.Dst == C.Dst) {
+              W.AnchorLines.push_back(A.Line);
+              W.WebMask |= TF.siteBitOf(&A);
+              WebLines.insert(A.Line);
+            }
+          }
+        }
+        std::sort(W.AnchorLines.begin(), W.AnchorLines.end());
+
+        // Anchoring invariant: clean webs uphold "anchored-check" (every
+        // path to the check passes an anchor and nothing clobbers the
+        // register in between — exactly what SpecVerifier proves); a web
+        // the verifier flagged carries the violated invariant's tag.
+        W.Anchored = true;
+        for (const SpecDiag &D : SpecDiags) {
+          if (D.FunctionName != W.FunctionName || !WebLines.count(D.Line))
+            continue;
+          if (D.Severity == SpecDiagSeverity::Error) {
+            W.Anchored = false;
+            W.Invariant = specDiagKindName(D.Kind);
+            break;
+          }
+        }
+        if (W.Anchored)
+          W.Invariant = "anchored-check";
+
+        // Alias facts for the promoted reference: the base plus whatever
+        // the backing points-to analysis says the final dereference may
+        // touch, sorted for determinism.
+        W.AliasAnalysisName = TF.aliasName();
+        {
+          std::set<std::string> Names;
+          Names.insert(C.Ref.Base->Name);
+          if (C.Ref.isIndirect())
+            for (const Symbol *Sym :
+                 TF.aliasAnalysis().mayPointees(C.Ref, &F))
+              Names.insert(Sym->Name);
+          W.Pointees.assign(Names.begin(), Names.end());
+        }
+
+        // Taint verdict.
+        interp::Shadow Checked = TF.tempShadow(&F, C.Dst);
+        W.SecretInvolved = Checked.Secret;
+        W.ResidualMask = Checked.Spec;
+        for (const TaintDiag &D : TF.diags())
+          if (D.SpecMask & W.WebMask)
+            W.StaticLeak = true;
+        if (Dyn)
+          for (const interp::TaintTrace::Leak &L : Dyn->Leaks)
+            if (L.SpecMask & W.WebMask)
+              W.DynamicLeak = true;
+        W.St = (!W.StaticLeak && W.DynamicLeak) ? Witness::Status::Refuted
+                                                : Witness::Status::Confirmed;
+        Out.push_back(std::move(W));
+      }
+    }
+  }
+  return Out;
+}
+
+void analysis::writeWitnesses(const std::vector<Witness> &Ws,
+                              const ir::Module &M, const TaintFlow &TF,
+                              OStream &OS) {
+  JSONWriter J(OS);
+  J.beginObject();
+  J.key("schema").value("srp-witness/1");
+  J.key("aliasAnalysis").value(TF.aliasName());
+  J.key("secretSymbols").beginArray();
+  for (unsigned I = 0, E = M.numSymbols(); I != E; ++I)
+    if (M.symbol(I)->Secret)
+      J.value(M.symbol(I)->Name);
+  J.endArray();
+  J.key("webs").beginArray();
+  for (const Witness &W : Ws) {
+    J.beginObject();
+    J.key("function").value(W.FunctionName);
+    J.key("check").beginObject();
+    J.key("kind").value(W.CheckKind);
+    J.key("line").value(W.CheckLine);
+    J.key("temp").value(W.Temp);
+    J.key("ref").value(W.RefText);
+    J.key("text").value(W.CheckText);
+    J.endObject();
+    J.key("invariant").value(W.Invariant);
+    J.key("anchored").value(W.Anchored);
+    J.key("anchorLines").beginArray();
+    for (unsigned L : W.AnchorLines)
+      J.value(L);
+    J.endArray();
+    J.key("alias").beginObject();
+    J.key("analysis").value(W.AliasAnalysisName);
+    J.key("mayTouch").beginArray();
+    for (const std::string &P : W.Pointees)
+      J.value(P);
+    J.endArray();
+    J.endObject();
+    J.key("taint").beginObject();
+    J.key("secretInvolved").value(W.SecretInvolved);
+    J.key("webMask").value(W.WebMask);
+    J.key("residualMask").value(W.ResidualMask);
+    J.key("staticLeak").value(W.StaticLeak);
+    J.key("dynamicLeak").value(W.DynamicLeak);
+    J.endObject();
+    J.key("status").value(witnessStatusName(W.St));
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+}

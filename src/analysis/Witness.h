@@ -1,0 +1,98 @@
+//===- Witness.h - Proof witnesses for promoted webs ------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *proof witness* is the machine-checkable record the lint mode emits
+/// for every promoted web (one checking load plus the advanced loads that
+/// anchor it): which anchoring invariant the web upholds, what the alias
+/// analysis believes the access can touch, and the taint verdict — did
+/// the static analysis::TaintFlow prove no secret escapes the web's
+/// speculative window, and does the dynamic oracle (the interpreter's
+/// shadow-taint run) agree?
+///
+/// The cross-validated status is the point:
+///
+///   CONFIRMED — the static verdict and the dynamic observation agree
+///               (both clean, or both leaky: a flagged leak the run
+///               reproduced is still a *confirmed* analysis).
+///   REFUTED   — the static analysis passed the web but the dynamic run
+///               observed a leak depending on one of its anchors. This
+///               is an analysis soundness bug, never an acceptable
+///               outcome; the fuzzer treats it as a finding.
+///
+/// Witnesses serialize to JSON through support/JSON.h; emission is
+/// byte-deterministic (fixed key order, sorted sets) so identical inputs
+/// produce identical files across runs and thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_ANALYSIS_WITNESS_H
+#define SRP_ANALYSIS_WITNESS_H
+
+#include "analysis/SpecVerifier.h"
+#include "analysis/TaintFlow.h"
+
+#include <string>
+#include <vector>
+
+namespace srp {
+class OStream;
+} // namespace srp
+
+namespace srp::analysis {
+
+/// One promoted web's witness record.
+struct Witness {
+  std::string FunctionName;
+  std::string CheckKind;   ///< Mnemonic of the checking load (ld.c, chk.a...).
+  std::string CheckText;   ///< The checking statement, printed.
+  unsigned CheckLine = 0;  ///< Source line of the check (0 if synthesised).
+  unsigned Temp = 0;       ///< The promoted register the web commits.
+  std::string RefText;     ///< The promoted lexical reference.
+
+  /// Anchoring invariant the web upholds, named: "anchored-check" when
+  /// the speculation verifier found no error on the web, otherwise the
+  /// tag of the violated invariant (e.g. "unanchored-check").
+  std::string Invariant;
+  bool Anchored = false;
+  std::vector<unsigned> AnchorLines; ///< Lines of the web's advanced loads.
+
+  /// Alias facts: the backing analysis and what it says the promoted
+  /// reference may touch (sorted symbol names).
+  std::string AliasAnalysisName;
+  std::vector<std::string> Pointees;
+
+  /// Taint verdict.
+  bool SecretInvolved = false; ///< The checked value may carry a secret.
+  uint64_t WebMask = 0;        ///< Site bits of the web's advanced loads.
+  uint64_t ResidualMask = 0;   ///< Spec bits still on the checked temp.
+  bool StaticLeak = false;     ///< A TaintFlow diag depends on this web.
+  bool DynamicLeak = false;    ///< A dynamic leak depends on this web.
+
+  enum class Status : uint8_t { Confirmed, Refuted };
+  Status St = Status::Confirmed;
+};
+
+const char *witnessStatusName(Witness::Status St);
+
+/// Builds one witness per checking load in \p M, cross-validating
+/// \p TF's static verdict against the speculation diagnostics
+/// \p SpecDiags and (when non-null) the dynamic taint observations
+/// \p Dyn. Deterministic (function, block, statement) order.
+std::vector<Witness> buildWitnesses(ir::Module &M, const TaintFlow &TF,
+                                    const std::vector<SpecDiag> &SpecDiags,
+                                    const interp::TaintTrace *Dyn);
+
+/// True if any witness is REFUTED (static PASS with a dynamic leak).
+bool hasRefutedWitness(const std::vector<Witness> &Ws);
+
+/// Serializes \p Ws as one deterministic JSON document.
+void writeWitnesses(const std::vector<Witness> &Ws, const ir::Module &M,
+                    const TaintFlow &TF, OStream &OS);
+
+} // namespace srp::analysis
+
+#endif // SRP_ANALYSIS_WITNESS_H

@@ -217,6 +217,42 @@ public:
   }
 };
 
+/// Secret-taint dataflow over the (promoted) IR: flags speculative paths
+/// where a secret-derived value reaches an address computation, branch
+/// condition or output before its check commits. Free when the module
+/// declares no secret symbols.
+class TaintFlowPass final : public Pass {
+public:
+  std::string_view name() const override { return "taintflow"; }
+  std::string_view description() const override {
+    return "speculative secret-taint dataflow";
+  }
+  bool run(PipelineState &S) override {
+    if (S.Config.TaintCheck == SpecVerifyMode::Off)
+      return true;
+    ir::Module &M = S.module();
+    bool AnySecret = false;
+    for (unsigned I = 0, E = M.numSymbols(); I != E; ++I)
+      AnySecret |= M.symbol(I)->Secret;
+    if (!AnySecret)
+      return true;
+    if (!S.AA)
+      S.AA = std::make_unique<alias::SteensgaardAnalysis>(M);
+    analysis::TaintFlowConfig TFC;
+    TFC.AA = S.AA.get();
+    TFC.Cache = &S.Analyses;
+    analysis::TaintFlow TF(M, TFC);
+    S.Result.TaintDiags = TF.diags();
+    if (S.Config.TaintCheck == SpecVerifyMode::Fatal &&
+        !S.Result.TaintDiags.empty()) {
+      S.Result.Error = "taint verification failed: " +
+                       analysis::formatTaintDiag(S.Result.TaintDiags[0]);
+      return false;
+    }
+    return true;
+  }
+};
+
 /// Lowers the promoted IR to ITA machine code (virtual registers).
 class LowerPass final : public Pass {
 public:
@@ -279,6 +315,7 @@ void srp::core::addStandardPasses(PassManager &PM) {
   PM.add(std::make_unique<ProfilePass>());
   PM.add(std::make_unique<PromotePass>());
   PM.add(std::make_unique<SpecVerifyPass>());
+  PM.add(std::make_unique<TaintFlowPass>());
   PM.add(std::make_unique<LowerPass>());
   PM.add(std::make_unique<RegAllocPass>());
   PM.add(std::make_unique<SimulatePass>());

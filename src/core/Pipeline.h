@@ -19,6 +19,7 @@
 #define SRP_CORE_PIPELINE_H
 
 #include "analysis/SpecVerifier.h"
+#include "analysis/TaintFlow.h"
 #include "arch/Simulator.h"
 #include "codegen/RegAlloc.h"
 #include "pre/Promotion.h"
@@ -58,6 +59,10 @@ struct PipelineConfig {
   arch::SimConfig Sim;
   codegen::RegAllocOptions RegAlloc;
   SpecVerifyMode SpecVerify = SpecVerifyMode::Warn;
+  /// How the taintflow pass treats analysis::TaintFlow findings on the
+  /// promoted IR of a secret-labeled module (same scale as SpecVerify;
+  /// the pass is a cheap no-op when the module declares no secrets).
+  SpecVerifyMode TaintCheck = SpecVerifyMode::Warn;
   bool UseAliasProfile = true; ///< Feed the train alias profile back.
   bool UseEdgeProfile = true;
   /// Use the inclusion-based Andersen analysis instead of Steensgaard
@@ -83,6 +88,9 @@ struct PipelineResult {
   /// SpecVerifier findings on the promoted IR (empty when SpecVerify is
   /// Off or the discipline holds).
   std::vector<analysis::SpecDiag> SpecDiags;
+  /// TaintFlow findings on the promoted IR (empty when TaintCheck is Off
+  /// or no speculative secret reaches a sink).
+  std::vector<analysis::TaintDiag> TaintDiags;
   /// Wall time of each pass that ran, in run order (--timing reporting).
   /// Not a counter: timings vary run to run, so determinism comparisons
   /// must ignore this field.

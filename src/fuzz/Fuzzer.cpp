@@ -91,9 +91,12 @@ valid::OracleOptions optionsFor(unsigned ConfigIndex, uint64_t FaultSeed,
   return Opts;
 }
 
-valid::ModuleBuilder builderFor(uint64_t ShapeSeed, uint64_t ProgSeed) {
-  return [ShapeSeed, ProgSeed](ir::Module &M) {
+valid::ModuleBuilder builderFor(uint64_t ShapeSeed, uint64_t ProgSeed,
+                                bool Taint) {
+  return [ShapeSeed, ProgSeed, Taint](ir::Module &M) {
     buildRandomProgram(M, ProgSeed, GenOptions::fromSeed(ShapeSeed));
+    if (Taint)
+      labelRandomSecrets(M, ShapeSeed ^ (ProgSeed * 0x9e3779b97f4a7c15ULL));
   };
 }
 
@@ -106,10 +109,21 @@ struct Job {
 
 } // namespace
 
+void srp::fuzz::labelRandomSecrets(ir::Module &M, uint64_t Seed) {
+  RNG R(Seed | 1);
+  bool Any = false;
+  for (ir::Symbol *Sym : M.globals()) {
+    Sym->Secret = R.nextBool(0.25);
+    Any |= Sym->Secret;
+  }
+  if (!Any && !M.globals().empty())
+    M.globals().front()->Secret = true;
+}
+
 std::string srp::fuzz::generatedProgramText(uint64_t ShapeSeed,
-                                            uint64_t ProgSeed) {
+                                            uint64_t ProgSeed, bool Taint) {
   ir::Module M;
-  buildRandomProgram(M, ProgSeed, GenOptions::fromSeed(ShapeSeed));
+  builderFor(ShapeSeed, ProgSeed, Taint)(M);
   return ir::moduleToString(M);
 }
 
@@ -117,9 +131,10 @@ valid::OracleReport srp::fuzz::replayTriple(uint64_t ShapeSeed,
                                             uint64_t ProgSeed,
                                             unsigned ConfigIndex,
                                             uint64_t FaultSeed,
-                                            unsigned FaultPlansPerProgram) {
+                                            unsigned FaultPlansPerProgram,
+                                            bool Taint) {
   return valid::runDiffOracle(
-      builderFor(ShapeSeed, ProgSeed),
+      builderFor(ShapeSeed, ProgSeed, Taint),
       optionsFor(ConfigIndex, FaultSeed, FaultPlansPerProgram));
 }
 
@@ -199,7 +214,7 @@ FuzzResult srp::fuzz::runFuzzer(const FuzzOptions &Opts) {
     core::parallelFor(Opts.Threads, B, [&Jobs, &Reports, &Opts](size_t I) {
       const Job &J = Jobs[I];
       Reports[I] = valid::runDiffOracle(
-          builderFor(J.ShapeSeed, J.ProgSeed),
+          builderFor(J.ShapeSeed, J.ProgSeed, Opts.Taint),
           optionsFor(J.ConfigIndex, J.FaultSeed,
                      Opts.FaultPlansPerProgram));
     });
@@ -227,7 +242,7 @@ FuzzResult srp::fuzz::runFuzzer(const FuzzOptions &Opts) {
       F.ConfigIndex = J.ConfigIndex;
       F.ConfigName = fuzzConfigs()[J.ConfigIndex].Name;
       F.FaultSeed = J.FaultSeed;
-      F.ModuleText = generatedProgramText(J.ShapeSeed, J.ProgSeed);
+      F.ModuleText = generatedProgramText(J.ShapeSeed, J.ProgSeed, Opts.Taint);
       LogLine(formatString(
           "FINDING %s (%s) replay=%s", valid::mismatchKindName(F.Kind),
           F.Detail.c_str(), F.replayArg().c_str()));

@@ -45,6 +45,12 @@ struct FuzzOptions {
   uint64_t Seed = 1;          ///< Master seed for the whole campaign.
   bool WithFaults = true;     ///< Derive fault schedules per iteration.
   unsigned FaultPlansPerProgram = 2;
+  /// Label a deterministic subset of each generated program's globals
+  /// `secret` (a pure function of the iteration's seeds), turning every
+  /// oracle run into a static-vs-dynamic taint cross-check: a program the
+  /// TaintFlow analysis passes but whose shadow interpretation leaks is a
+  /// TaintDisagree finding (an analysis soundness bug).
+  bool Taint = false;
   bool Minimize = true;       ///< Delta-debug findings before reporting.
   std::string ReproDir;       ///< Write minimized .sir repros here ("": off).
   size_t MaxFindings = 10;    ///< Stop collecting (not running) past this.
@@ -91,10 +97,13 @@ const std::vector<FuzzConfig> &fuzzConfigs();
 /// Runs the campaign.
 FuzzResult runFuzzer(const FuzzOptions &Opts);
 
-/// Re-runs one triple exactly as the campaign would have.
+/// Re-runs one triple exactly as the campaign would have. Pass the same
+/// \p Taint the campaign ran with — secret labels are part of the
+/// program, so a --taint finding replays only under --taint.
 valid::OracleReport replayTriple(uint64_t ShapeSeed, uint64_t ProgSeed,
                                  unsigned ConfigIndex, uint64_t FaultSeed,
-                                 unsigned FaultPlansPerProgram = 2);
+                                 unsigned FaultPlansPerProgram = 2,
+                                 bool Taint = false);
 
 /// Parses "SHAPE:PROG:CFG:FAULT" (decimal or 0x hex). Returns false on
 /// malformed input.
@@ -102,8 +111,17 @@ bool parseReplayArg(const std::string &Arg, uint64_t &ShapeSeed,
                     uint64_t &ProgSeed, unsigned &ConfigIndex,
                     uint64_t &FaultSeed);
 
-/// The generated program of a (shape, prog) pair, as .sir text.
-std::string generatedProgramText(uint64_t ShapeSeed, uint64_t ProgSeed);
+/// The generated program of a (shape, prog) pair, as .sir text (with the
+/// deterministic secret labels when \p Taint is set — the printer
+/// round-trips them, so repro files reproduce taint findings).
+std::string generatedProgramText(uint64_t ShapeSeed, uint64_t ProgSeed,
+                                 bool Taint = false);
+
+/// Marks a deterministic subset of \p M's globals secret (each with
+/// probability 1/4, at least one when any global exists), as a pure
+/// function of \p Seed. The fuzzer's --taint mode applies this to every
+/// generated program.
+void labelRandomSecrets(ir::Module &M, uint64_t Seed);
 
 } // namespace srp::fuzz
 

@@ -28,6 +28,7 @@
 
 #include "ir/IRBuilder.h"
 #include "support/RNG.h"
+#include "support/StringUtils.h"
 
 #include <string>
 #include <vector>
@@ -97,14 +98,14 @@ public:
     using namespace ir;
     for (unsigned I = 0; I < Opts.IntScalars; ++I)
       IntScalars.push_back(
-          M.createGlobal("g" + std::to_string(I), TypeKind::Int));
+          M.createGlobal(formatString("g%u", I), TypeKind::Int));
     for (unsigned I = 0; I < Opts.FloatScalars; ++I)
       FloatScalars.push_back(
-          M.createGlobal("f" + std::to_string(I), TypeKind::Float));
+          M.createGlobal(formatString("f%u", I), TypeKind::Float));
     Arr = M.createGlobal("arr", TypeKind::Int, Opts.ArrayElems);
     for (unsigned I = 0; I < Opts.Pointers; ++I)
       Pointers.push_back(
-          M.createGlobal("p" + std::to_string(I), TypeKind::Int));
+          M.createGlobal(formatString("p%u", I), TypeKind::Int));
 
     // Optional helper function exercising the call barrier.
     Helper = B.startFunction("helper");
@@ -253,9 +254,9 @@ private:
       }
       unsigned TCond = B.emitAssign(Opcode::And, randomIntOperand(),
                                     Operand::constInt(1));
-      BasicBlock *Then = B.createBlock("then" + std::to_string(Counter));
-      BasicBlock *Else = B.createBlock("else" + std::to_string(Counter));
-      BasicBlock *Join = B.createBlock("join" + std::to_string(Counter));
+      BasicBlock *Then = B.createBlock(formatString("then%u", Counter));
+      BasicBlock *Else = B.createBlock(formatString("else%u", Counter));
+      BasicBlock *Join = B.createBlock(formatString("join%u", Counter));
       ++Counter;
       B.setCondBr(Operand::temp(TCond), Then, Else);
       size_t SavedInt = IntTemps.size(), SavedFloat = FloatTemps.size();
@@ -279,10 +280,10 @@ private:
         break;
       }
       ir::Symbol *IVar = M.createGlobal(
-          "li" + std::to_string(Counter), TypeKind::Int);
-      BasicBlock *Hdr = B.createBlock("lh" + std::to_string(Counter));
-      BasicBlock *Body = B.createBlock("lb" + std::to_string(Counter));
-      BasicBlock *Exit = B.createBlock("lx" + std::to_string(Counter));
+          formatString("li%u", Counter), TypeKind::Int);
+      BasicBlock *Hdr = B.createBlock(formatString("lh%u", Counter));
+      BasicBlock *Body = B.createBlock(formatString("lb%u", Counter));
+      BasicBlock *Exit = B.createBlock(formatString("lx%u", Counter));
       ++Counter;
       int64_t Trips = 3 + static_cast<int64_t>(Rng.nextBelow(6));
       B.emitStore(directRef(IVar), Operand::constInt(0));

@@ -6,9 +6,11 @@
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <map>
+#include <tuple>
 
 using namespace srp;
 using namespace srp::ir;
@@ -21,8 +23,12 @@ namespace srp::interp {
 class Execution {
 public:
   Execution(const ir::Module &M, AliasProfile *AP, EdgeProfile *EP,
-            AlatObserver *AO, MemTrace *MT, uint64_t Fuel)
-      : M(M), AP(AP), EP(EP), AO(AO), MT(MT), FuelLeft(Fuel) {}
+            AlatObserver *AO, MemTrace *MT, TaintTrace *TT, uint64_t Fuel)
+      : M(M), AP(AP), EP(EP), AO(AO), MT(MT), TT(TT), FuelLeft(Fuel) {
+    if (TT)
+      for (const auto &[S, Index] : specSiteIndex(M))
+        SpecSiteBit[S] = 1ULL << Index;
+  }
 
   RunResult run() {
     RunResult Result;
@@ -33,6 +39,8 @@ public:
     }
     if (MT)
       *MT = MemTrace();
+    if (TT)
+      *TT = TaintTrace();
     layoutGlobals();
     uint64_t RetBits = 0;
     if (!callFunction(*Main, {}, RetBits)) {
@@ -66,6 +74,10 @@ private:
     std::vector<uint64_t> Temps;
     std::map<const Symbol *, uint64_t> SlotAddr;
     uint64_t SavedStackTop = 0;
+    /// Taint mode only: shadow of each temp, parallel to Temps, plus the
+    /// shadow of the value the frame returned.
+    std::vector<Shadow> TempTaint;
+    Shadow RetShadow;
   };
 
   void trap(std::string Message);
@@ -82,13 +94,19 @@ private:
   uint64_t evalAssign(Frame &Fr, const Stmt &S);
   /// Returns the final access address; \p ChainPtr receives the value of
   /// the last chain pointer (the address before index/offset are applied),
-  /// which is what Load.AddrDst exposes.
+  /// which is what Load.AddrDst exposes. In taint mode \p WalkShadow (if
+  /// non-null) accumulates the shadow of every chain cell read — plus the
+  /// advanced load's own site bit, since chain values an ld.a walks are
+  /// themselves speculative.
   uint64_t computeAccessAddress(Frame &Fr, const Stmt &S, const MemRef &Ref,
-                                uint64_t &ChainPtr);
+                                uint64_t &ChainPtr,
+                                Shadow *WalkShadow = nullptr);
   uint64_t symbolAddress(Frame &Fr, const Symbol *Sym);
 
   bool callFunction(const Function &F, const std::vector<uint64_t> &Args,
-                    uint64_t &RetBits);
+                    uint64_t &RetBits,
+                    const std::vector<Shadow> *ArgShadows = nullptr,
+                    Shadow *RetShadow = nullptr);
   /// Executes one block's statements; returns the successor block, or null
   /// on return (RetBits filled).
   const BasicBlock *execBlock(Frame &Fr, const BasicBlock *BB,
@@ -100,11 +118,53 @@ private:
           MemTrace::Access{Addr, symbolAt(Addr), IsLoad, Speculative});
   }
 
+  //===------------------------------------------------------------===//
+  // Taint-mode shadow propagation (all no-ops unless TT is attached)
+  //===------------------------------------------------------------===//
+
+  Shadow shadowOf(Frame &Fr, const Operand &Op) const {
+    if (Op.isTemp() && Op.TempId < Fr.TempTaint.size())
+      return Fr.TempTaint[Op.TempId];
+    return Shadow();
+  }
+
+  Shadow memShadow(uint64_t Addr) const {
+    auto It = MemTaint.find(Addr >> 3);
+    return It == MemTaint.end() ? Shadow() : It->second;
+  }
+
+  void setTempShadow(Frame &Fr, unsigned Temp, const Shadow &Sh) {
+    if (Temp < Fr.TempTaint.size())
+      Fr.TempTaint[Temp] = Sh;
+  }
+
+  /// Shadow of the index operand of \p Ref (the part of the address the
+  /// program computes, as opposed to the chain cells it loads).
+  Shadow indexShadow(Frame &Fr, const MemRef &Ref) const {
+    return Ref.hasIndex() ? shadowOf(Fr, Ref.Index) : Shadow();
+  }
+
+  void recordLeak(Frame &Fr, TaintTrace::Sink Sink, unsigned Line,
+                  const Shadow &Sh) {
+    if (!TT || !Sh.leaks())
+      return;
+    auto Key = std::make_tuple(Fr.F, Line, Sink);
+    auto It = LeakIndex.find(Key);
+    if (It != LeakIndex.end()) {
+      TT->Leaks[It->second].SpecMask |= Sh.Spec;
+      return;
+    }
+    LeakIndex[Key] = TT->Leaks.size();
+    TT->Leaks.push_back(
+        TaintTrace::Leak{Sink, Fr.F->getName(), Line, Sh.Spec});
+  }
+
   const ir::Module &M;
   AliasProfile *AP;
   EdgeProfile *EP;
   AlatObserver *AO;
   MemTrace *MT;
+  TaintTrace *TT;
   uint64_t FuelLeft;
   /// Address of the cell the last chain pointer was loaded from; set by
   /// computeAccessAddress for indirect references. This is the address an
@@ -113,6 +173,13 @@ private:
 
   std::unordered_map<uint64_t, uint64_t> Memory; ///< Keyed by Addr >> 3.
   std::map<uint64_t, ObjectInfo> Objects;        ///< Keyed by start address.
+  /// Taint mode: shadow of every written/initialized cell (same key).
+  std::unordered_map<uint64_t, Shadow> MemTaint;
+  /// Taint mode: ALAT site bit of each advanced-load statement.
+  std::unordered_map<const ir::Stmt *, uint64_t> SpecSiteBit;
+  /// Taint mode: dedup index into TT->Leaks by (function, line, sink).
+  std::map<std::tuple<const Function *, unsigned, TaintTrace::Sink>, size_t>
+      LeakIndex;
   uint64_t StackTop = layout::StackBase;
   uint64_t HeapTop = layout::HeapBase;
   unsigned CallDepth = 0;
@@ -155,6 +222,9 @@ void Execution::layoutGlobals() {
   for (const Symbol *Global : M.globals()) {
     Objects[Next] = ObjectInfo{Next + Global->sizeInBytes(), Global->Id};
     GlobalAddr[Global] = Next;
+    if (TT && Global->Secret)
+      for (unsigned I = 0; I < Global->NumElems; ++I)
+        MemTaint[(Next + 8 * I) >> 3] = Shadow{true, 0};
     Next += (Global->sizeInBytes() + 63) & ~63ULL;
   }
 }
@@ -282,7 +352,8 @@ uint64_t Execution::symbolAddress(Frame &Fr, const Symbol *Sym) {
 
 uint64_t Execution::computeAccessAddress(Frame &Fr, const Stmt &S,
                                          const MemRef &Ref,
-                                         uint64_t &ChainPtr) {
+                                         uint64_t &ChainPtr,
+                                         Shadow *WalkShadow) {
   uint64_t Addr = symbolAddress(Fr, Ref.Base);
   int64_t Extra = Ref.Offset;
   if (Ref.hasIndex())
@@ -293,6 +364,13 @@ uint64_t Execution::computeAccessAddress(Frame &Fr, const Stmt &S,
     if (Level == Ref.Depth)
       LastChainSlot = Addr;
     recordAccess(Addr, /*IsLoad=*/true, SpecChain);
+    if (WalkShadow) {
+      WalkShadow->merge(memShadow(Addr));
+      if (SpecChain) {
+        auto It = SpecSiteBit.find(&S);
+        WalkShadow->Spec |= It == SpecSiteBit.end() ? 0 : It->second;
+      }
+    }
     Addr = read64(Addr);
     ++LoadsExecuted;
     ChainPtr = Addr;
@@ -320,6 +398,14 @@ uint64_t Execution::allocateObject(const Symbol &Sym, uint64_t Bytes,
     HeapTop += (Bytes + 63) & ~63ULL;
   }
   Objects[Start] = ObjectInfo{Start + Bytes, Sym.Id};
+  // Taint mode: a fresh slot's cells carry exactly the symbol's own
+  // label, even though Memory may still hold stale bits from a popped
+  // frame. Defining "fresh slots are fresh" keeps the dynamic taint an
+  // under-approximation of what the symbol-granular static analysis can
+  // derive, so dynamic leaks are always statically visible.
+  if (TT)
+    for (uint64_t Cell = Start; Cell < Start + Bytes; Cell += 8)
+      MemTaint[Cell >> 3] = Shadow{Sym.Secret, 0};
   return Start;
 }
 
@@ -339,6 +425,12 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
     switch (S.Kind) {
     case StmtKind::Assign:
       Fr.Temps[S.Dst] = evalAssign(Fr, S);
+      if (TT) {
+        Shadow Sh = shadowOf(Fr, S.A);
+        Sh.merge(shadowOf(Fr, S.B));
+        Sh.merge(shadowOf(Fr, S.C));
+        setTempShadow(Fr, S.Dst, Sh);
+      }
       break;
     case StmtKind::Load: {
       // AddrSrc checking loads (ld.c) take the saved chain pointer and
@@ -349,6 +441,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
       uint64_t Addr;
       uint64_t ChainPtr = 0;
       uint64_t PtrPre = 0; // Saved pointer register before a chk.a refresh.
+      Shadow AddrShadow;   // Taint mode: shadow of the final address.
       if (S.hasAddrSrc() && !IsChkA) {
         int64_t Extra = S.Ref.Offset;
         if (S.Ref.hasIndex())
@@ -356,20 +449,44 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
         Addr = S.Ref.isIndirect()
                    ? Fr.Temps[S.AddrSrc] + static_cast<uint64_t>(Extra)
                    : Fr.Temps[S.AddrSrc];
+        if (TT && S.AddrSrc < Fr.TempTaint.size())
+          AddrShadow = Fr.TempTaint[S.AddrSrc];
       } else {
         if (IsChkA && S.AddrSrc != NoTemp)
           PtrPre = Fr.Temps[S.AddrSrc];
-        Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
-        if (IsChkA && S.AddrSrc != NoTemp)
+        Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr,
+                                    TT ? &AddrShadow : nullptr);
+        if (IsChkA && S.AddrSrc != NoTemp) {
           Fr.Temps[S.AddrSrc] = ChainPtr;
+          // The check re-walked the chain architecturally, so the saved
+          // pointer's shadow is refreshed from the (non-speculative) walk.
+          setTempShadow(Fr, S.AddrSrc, AddrShadow);
+        }
       }
-      if (S.AddrDst != NoTemp)
+      if (TT)
+        AddrShadow.merge(indexShadow(Fr, S.Ref));
+      if (S.AddrDst != NoTemp) {
         Fr.Temps[S.AddrDst] = S.Ref.isIndirect() ? ChainPtr : Addr;
+        setTempShadow(Fr, S.AddrDst, AddrShadow);
+      }
       uint64_t RegPre = Fr.Temps[S.Dst];
       recordAccess(Addr, /*IsLoad=*/true, isAdvancedFlag(S.Flag));
+      recordLeak(Fr, TaintTrace::Sink::Address, S.Line, AddrShadow);
       uint64_t Value = read64(Addr);
       Fr.Temps[S.Dst] = Value;
       ++LoadsExecuted;
+      if (TT) {
+        Shadow DstShadow = memShadow(Addr);
+        DstShadow.merge(AddrShadow);
+        if (isAdvancedFlag(S.Flag)) {
+          auto It = SpecSiteBit.find(&S);
+          DstShadow.Spec |= It == SpecSiteBit.end() ? 0 : It->second;
+        }
+        // Checking loads (ld.c / chk.a) re-define Dst from architectural
+        // memory without an advanced bit: a checked value stops being
+        // speculative.
+        setTempShadow(Fr, S.Dst, DstShadow);
+      }
       if (AO && S.Flag != SpecFlag::None) {
         if (isAdvancedFlag(S.Flag)) {
           // Lowering allocates the chain-pointer entry first, then the
@@ -401,11 +518,20 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
     }
     case StmtKind::Store: {
       uint64_t ChainPtr = 0;
-      uint64_t Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr);
-      if (S.AddrDst != NoTemp)
+      Shadow AddrShadow;
+      uint64_t Addr = computeAccessAddress(Fr, S, S.Ref, ChainPtr,
+                                           TT ? &AddrShadow : nullptr);
+      if (TT)
+        AddrShadow.merge(indexShadow(Fr, S.Ref));
+      if (S.AddrDst != NoTemp) {
         Fr.Temps[S.AddrDst] = Addr; // stores expose the final address
+        setTempShadow(Fr, S.AddrDst, AddrShadow);
+      }
       recordAccess(Addr, /*IsLoad=*/false, /*Speculative=*/false);
+      recordLeak(Fr, TaintTrace::Sink::Address, S.Line, AddrShadow);
       write64(Addr, evalOperand(Fr, S.A));
+      if (TT)
+        MemTaint[Addr >> 3] = shadowOf(Fr, S.A); // strong update
       ++StoresExecuted;
       if (AO) {
         AO->onStore(Addr);
@@ -422,6 +548,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
                 8;
       Addr += static_cast<uint64_t>(S.Ref.Offset);
       Fr.Temps[S.Dst] = Addr;
+      setTempShadow(Fr, S.Dst, indexShadow(Fr, S.Ref));
       break;
     }
     case StmtKind::Alloc: {
@@ -430,6 +557,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
         Count = 1;
       Fr.Temps[S.Dst] = allocateObject(
           *S.HeapSym, static_cast<uint64_t>(Count) * 8, /*OnStack=*/false);
+      setTempShadow(Fr, S.Dst, Shadow());
       break;
     }
     case StmtKind::Call: {
@@ -437,11 +565,22 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
       Args.reserve(S.Args.size());
       for (const Operand &Arg : S.Args)
         Args.push_back(evalOperand(Fr, Arg));
+      std::vector<Shadow> ArgShadows;
+      if (TT) {
+        ArgShadows.reserve(S.Args.size());
+        for (const Operand &Arg : S.Args)
+          ArgShadows.push_back(shadowOf(Fr, Arg));
+      }
       uint64_t CallRet = 0;
-      if (!callFunction(*S.Callee, Args, CallRet))
+      Shadow CallRetShadow;
+      if (!callFunction(*S.Callee, Args, CallRet,
+                        TT ? &ArgShadows : nullptr,
+                        TT ? &CallRetShadow : nullptr))
         return nullptr;
-      if (S.Dst != NoTemp)
+      if (S.Dst != NoTemp) {
         Fr.Temps[S.Dst] = CallRet;
+        setTempShadow(Fr, S.Dst, CallRetShadow);
+      }
       break;
     }
     case StmtKind::Invala:
@@ -451,6 +590,7 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
       break;
     case StmtKind::Print: {
       uint64_t Bits = evalOperand(Fr, S.A);
+      recordLeak(Fr, TaintTrace::Sink::Output, S.Line, shadowOf(Fr, S.A));
       bool IsFloat = S.A.K == Operand::Kind::ConstFloat ||
                      (S.A.isTemp() &&
                       Fr.F->tempType(S.A.TempId) == TypeKind::Float);
@@ -474,6 +614,11 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
     return T.Target;
   case TermKind::CondBr: {
     bool Taken = evalOperand(Fr, T.Cond) != 0;
+    // Terminators carry no line; attribute branch leaks to the block's
+    // final statement (0 for statement-free blocks).
+    recordLeak(Fr, TaintTrace::Sink::Branch,
+               BB->size() ? BB->stmt(BB->size() - 1)->Line : 0,
+               shadowOf(Fr, T.Cond));
     const BasicBlock *Next = Taken ? T.Target : T.FalseTarget;
     if (EP)
       EP->countEdge(BB, Next);
@@ -481,6 +626,8 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
   }
   case TermKind::Ret:
     RetBits = T.RetVal.isNone() ? 0 : evalOperand(Fr, T.RetVal);
+    if (TT)
+      Fr.RetShadow = shadowOf(Fr, T.RetVal);
     return nullptr;
   }
   SRP_UNREACHABLE("invalid terminator");
@@ -488,7 +635,9 @@ const BasicBlock *Execution::execBlock(Frame &Fr, const BasicBlock *BB,
 
 bool Execution::callFunction(const Function &F,
                              const std::vector<uint64_t> &Args,
-                             uint64_t &RetBits) {
+                             uint64_t &RetBits,
+                             const std::vector<Shadow> *ArgShadows,
+                             Shadow *RetShadow) {
   if (++CallDepth > 512) {
     trap("call depth limit exceeded");
     --CallDepth;
@@ -497,6 +646,8 @@ bool Execution::callFunction(const Function &F,
   Frame Fr;
   Fr.F = &F;
   Fr.Temps.assign(F.numTemps(), 0);
+  if (TT)
+    Fr.TempTaint.assign(F.numTemps(), Shadow());
   Fr.SavedStackTop = StackTop;
 
   auto PlaceSlot = [&](const Symbol *Sym) {
@@ -507,8 +658,13 @@ bool Execution::callFunction(const Function &F,
     PlaceSlot(Formal);
   for (const Symbol *Local : F.locals())
     PlaceSlot(Local);
-  for (size_t I = 0; I < Args.size() && I < F.formals().size(); ++I)
+  for (size_t I = 0; I < Args.size() && I < F.formals().size(); ++I) {
     write64(Fr.SlotAddr[F.formals()[I]], Args[I]);
+    // allocateObject seeded the slot with the formal's own Secret label;
+    // the incoming argument's shadow merges on top.
+    if (TT && ArgShadows && I < ArgShadows->size())
+      MemTaint[Fr.SlotAddr[F.formals()[I]] >> 3].merge((*ArgShadows)[I]);
+  }
 
   const BasicBlock *BB = F.entry();
   RetBits = 0;
@@ -522,10 +678,44 @@ bool Execution::callFunction(const Function &F,
   --CallDepth;
   if (AO)
     AO->onReturn(&F);
+  if (RetShadow)
+    *RetShadow = Fr.RetShadow;
   return !Trapped;
 }
 
 RunResult Interpreter::run(uint64_t Fuel) {
-  Execution Exec(M, AP, EP, AO, MT, Fuel);
+  Execution Exec(M, AP, EP, AO, MT, TT, Fuel);
   return Exec.run();
+}
+
+const char *srp::interp::taintSinkName(TaintTrace::Sink S) {
+  switch (S) {
+  case TaintTrace::Sink::Address:
+    return "address";
+  case TaintTrace::Sink::Branch:
+    return "branch";
+  case TaintTrace::Sink::Output:
+    return "output";
+  }
+  SRP_UNREACHABLE("invalid taint sink");
+}
+
+std::vector<std::pair<const ir::Stmt *, unsigned>>
+srp::interp::specSiteIndex(const ir::Module &M) {
+  std::vector<std::pair<const ir::Stmt *, unsigned>> Sites;
+  unsigned Next = 0;
+  for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
+    const Function *F = M.function(FI);
+    for (unsigned BI = 0, BE = F->numBlocks(); BI != BE; ++BI) {
+      const BasicBlock *BB = F->block(BI);
+      for (size_t SI = 0, SE = BB->size(); SI != SE; ++SI) {
+        const Stmt *S = BB->stmt(SI);
+        if (S->Kind == StmtKind::Load && isAdvancedFlag(S->Flag)) {
+          Sites.emplace_back(S, std::min(Next, 63u));
+          ++Next;
+        }
+      }
+    }
+  }
+  return Sites;
 }

@@ -73,6 +73,57 @@ struct MemTrace {
   std::vector<uint64_t> FinalGlobals;
 };
 
+/// Shadow taint of one runtime value (a temp or an 8-byte memory cell).
+/// Secret marks data derived from a `secret`-annotated symbol; Spec is a
+/// bitmask of the advanced-load sites (see specSiteIndex) whose unchecked
+/// values the data depends on — nonzero means "speculative". A value that
+/// is both secret and speculative reaching an address computation, branch
+/// condition, or program output is a speculative leak.
+struct Shadow {
+  bool Secret = false;
+  uint64_t Spec = 0;
+
+  void merge(const Shadow &O) {
+    Secret |= O.Secret;
+    Spec |= O.Spec;
+  }
+  bool leaks() const { return Secret && Spec != 0; }
+};
+
+/// Dynamic taint observations of one run, filled when attached with
+/// Interpreter::setTaintTrace. The shadow propagation intentionally
+/// *under*-approximates information flow (no implicit flows through
+/// branches, fresh frames reset slot taint) so that every recorded leak
+/// is also derivable by the static analysis::TaintFlow over-approximation
+/// — the two sides audit each other (valid::DiffOracle reports a static
+/// PASS with a dynamic leak as a disagreement finding).
+struct TaintTrace {
+  enum class Sink : uint8_t {
+    Address, ///< Tainted speculative value formed a memory-access address.
+    Branch,  ///< ... decided a conditional branch.
+    Output,  ///< ... was printed.
+  };
+
+  struct Leak {
+    Sink S = Sink::Address;
+    std::string Function;
+    unsigned Line = 0;    ///< Stmt::Line (0 for synthesised IR / branches).
+    uint64_t SpecMask = 0; ///< Advanced-load sites the value depended on.
+  };
+  /// Deduplicated by (function, line, sink); masks of repeats are merged.
+  std::vector<Leak> Leaks;
+};
+
+const char *taintSinkName(TaintTrace::Sink S);
+
+/// Deterministic indexing of the module's advanced-load sites (ld.a /
+/// ld.sa statements, in function/block/statement order): the bit each
+/// site owns in Shadow::Spec masks. Sites past 63 share bit 63. Both the
+/// interpreter's shadow propagation and analysis::TaintFlow use this, so
+/// their masks are comparable.
+std::vector<std::pair<const ir::Stmt *, unsigned>>
+specSiteIndex(const ir::Module &M);
+
 /// Direct executor for the IR.
 class Interpreter {
 public:
@@ -92,6 +143,12 @@ public:
   /// global state (cleared at the start of each run).
   void setMemTrace(MemTrace *Trace) { MT = Trace; }
 
+  /// Attaches a taint-trace sink: the run shadow-propagates secret/
+  /// speculative bits through temps and memory cells and records every
+  /// speculative-leak sink it executes (cleared at the start of each
+  /// run). Costs nothing when unset.
+  void setTaintTrace(TaintTrace *Trace) { TT = Trace; }
+
   /// Runs main() with at most \p Fuel statements; resets memory first.
   RunResult run(uint64_t Fuel = 100'000'000);
 
@@ -103,6 +160,7 @@ private:
   EdgeProfile *EP = nullptr;
   AlatObserver *AO = nullptr;
   MemTrace *MT = nullptr;
+  TaintTrace *TT = nullptr;
 };
 
 } // namespace srp::interp

@@ -157,6 +157,16 @@ private:
     return true;
   }
 
+  /// Consumes an optional trailing `secret` taint annotation (globals,
+  /// formals, locals). The keyword is only reserved in this position.
+  static bool parseSecretSuffix(Cursor &C) {
+    Cursor Saved = C;
+    if (C.ident() == "secret")
+      return true;
+    C = Saved;
+    return false;
+  }
+
   bool parseGlobal(std::string_view Rest) {
     Cursor C{Rest};
     std::string Name(C.ident());
@@ -167,6 +177,7 @@ private:
     if (!parseTypeDecl(C, Type, NumElems))
       return false;
     Symbol *Sym = M.createGlobal(Name, Type, NumElems);
+    Sym->Secret = parseSecretSuffix(C);
     Symbols[Name] = Sym;
     return true;
   }
@@ -195,8 +206,10 @@ private:
         unsigned NumElems;
         if (PName.empty() || !parseTypeDecl(C, Type, NumElems))
           return fail("malformed parameter list");
-        LocalSymbols[PName] =
+        Symbol *Formal =
             M.createLocal(F, PName, Type, NumElems, /*IsFormal=*/true);
+        Formal->Secret = parseSecretSuffix(C);
+        LocalSymbols[PName] = Formal;
         if (C.eat(")"))
           break;
         if (!C.eat(","))
@@ -230,7 +243,9 @@ private:
         unsigned NumElems;
         if (LName.empty() || !parseTypeDecl(LC, Type, NumElems))
           return false;
-        LocalSymbols[LName] = M.createLocal(F, LName, Type, NumElems);
+        Symbol *Local = M.createLocal(F, LName, Type, NumElems);
+        Local->Secret = parseSecretSuffix(LC);
+        LocalSymbols[LName] = Local;
         advance();
         continue;
       }

@@ -104,6 +104,8 @@ static void printSymbolDecl(const Symbol &Sym, OStream &OS) {
   OS << Sym.Name << " : " << typeName(Sym.ElemType);
   if (!Sym.isScalar())
     OS << '[' << Sym.NumElems << ']';
+  if (Sym.Secret)
+    OS << " secret";
 }
 
 static void printTerminator(const Terminator &T, OStream &OS) {

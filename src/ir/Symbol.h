@@ -49,6 +49,12 @@ struct Symbol {
   TypeKind ElemType = TypeKind::Int;
   unsigned NumElems = 1;       ///< Scalar if 1; array extent otherwise.
   bool AddressTaken = false;   ///< Some AddrOf statement names this symbol.
+  /// The object's contents are confidential (`secret` in .sir). The
+  /// taint analyses (analysis::TaintFlow, the interpreter's shadow
+  /// propagation) treat every value derived from it as tainted; a tainted
+  /// value reaching an address, branch or output while speculative is a
+  /// leak. Promotion and codegen ignore the label entirely.
+  bool Secret = false;
   Function *Parent = nullptr;  ///< Owning function; null for globals/heap.
 
   bool isScalar() const { return NumElems == 1; }

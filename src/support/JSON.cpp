@@ -1,0 +1,141 @@
+//===- JSON.cpp - Deterministic streaming JSON writer -------------------------===//
+
+#include "support/JSON.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace srp;
+
+void JSONWriter::newline() {
+  OS << '\n';
+  OS.indent(2 * static_cast<unsigned>(Stack.size()));
+}
+
+void JSONWriter::beforeValue() {
+  if (Stack.empty()) {
+    assert(!SawTopLevel && "second top-level value");
+    SawTopLevel = true;
+    return;
+  }
+  Frame &F = Stack.back();
+  if (F.S == Scope::Object) {
+    assert(F.KeyPending && "object member without a key");
+    F.KeyPending = false;
+    return;
+  }
+  if (F.HasMembers)
+    OS << ',';
+  F.HasMembers = true;
+  newline();
+}
+
+JSONWriter &JSONWriter::beginObject() {
+  beforeValue();
+  Stack.push_back({Scope::Object, false, false});
+  OS << '{';
+  return *this;
+}
+
+JSONWriter &JSONWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().S == Scope::Object &&
+         !Stack.back().KeyPending && "unbalanced endObject");
+  bool HadMembers = Stack.back().HasMembers;
+  Stack.pop_back();
+  if (HadMembers)
+    newline();
+  OS << '}';
+  return *this;
+}
+
+JSONWriter &JSONWriter::beginArray() {
+  beforeValue();
+  Stack.push_back({Scope::Array, false, false});
+  OS << '[';
+  return *this;
+}
+
+JSONWriter &JSONWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().S == Scope::Array &&
+         "unbalanced endArray");
+  bool HadMembers = Stack.back().HasMembers;
+  Stack.pop_back();
+  if (HadMembers)
+    newline();
+  OS << ']';
+  return *this;
+}
+
+JSONWriter &JSONWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().S == Scope::Object &&
+         !Stack.back().KeyPending && "key outside an object");
+  Frame &F = Stack.back();
+  if (F.HasMembers)
+    OS << ',';
+  F.HasMembers = true;
+  F.KeyPending = true;
+  newline();
+  writeEscaped(K);
+  OS << ": ";
+  return *this;
+}
+
+void JSONWriter::writeEscaped(std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS << formatString("\\u%04x", C);
+      else
+        OS << C;
+    }
+  }
+  OS << '"';
+}
+
+JSONWriter &JSONWriter::value(std::string_view S) {
+  beforeValue();
+  writeEscaped(S);
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(int64_t N) {
+  beforeValue();
+  OS << N;
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(uint64_t N) {
+  beforeValue();
+  OS << N;
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(bool B) {
+  beforeValue();
+  OS << (B ? "true" : "false");
+  return *this;
+}
+
+JSONWriter &JSONWriter::null() {
+  beforeValue();
+  OS << "null";
+  return *this;
+}

@@ -1,0 +1,82 @@
+//===- JSON.h - Deterministic streaming JSON writer -------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON emitter for machine-readable reports (the proof
+/// witnesses analysis::Witness.h produces). The writer is deterministic by
+/// construction: output is exactly the sequence of begin/key/value calls,
+/// with fixed two-space indentation and no hash-ordered containers behind
+/// it — callers emit keys in a fixed order and byte-stable files fall out.
+///
+/// Usage:
+///   JSONWriter W(OS);
+///   W.beginObject();
+///   W.key("answer").value(42);
+///   W.key("list").beginArray().value("a").value("b").endArray();
+///   W.endObject();
+///
+/// The writer validates nesting with assertions only; it is a serializer
+/// for trusted in-process data, not a parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_JSON_H
+#define SRP_SUPPORT_JSON_H
+
+#include "support/OStream.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace srp {
+
+/// Streaming JSON emitter over an OStream (see file comment).
+class JSONWriter {
+public:
+  explicit JSONWriter(OStream &OS) : OS(OS) {}
+
+  JSONWriter &beginObject();
+  JSONWriter &endObject();
+  JSONWriter &beginArray();
+  JSONWriter &endArray();
+
+  /// Emits a member key inside an object; the next value/begin call is
+  /// its value.
+  JSONWriter &key(std::string_view K);
+
+  JSONWriter &value(std::string_view S);
+  JSONWriter &value(const char *S) { return value(std::string_view(S)); }
+  JSONWriter &value(int64_t N);
+  JSONWriter &value(uint64_t N);
+  JSONWriter &value(int N) { return value(static_cast<int64_t>(N)); }
+  JSONWriter &value(unsigned N) { return value(static_cast<uint64_t>(N)); }
+  JSONWriter &value(bool B);
+  JSONWriter &null();
+
+  /// True once the single top-level value is complete.
+  bool done() const { return Stack.empty() && SawTopLevel; }
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+
+  void beforeValue();
+  void newline();
+  void writeEscaped(std::string_view S);
+
+  OStream &OS;
+  struct Frame {
+    Scope S;
+    bool HasMembers = false;
+    bool KeyPending = false;
+  };
+  std::vector<Frame> Stack;
+  bool SawTopLevel = false;
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_JSON_H

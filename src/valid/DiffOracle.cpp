@@ -2,6 +2,7 @@
 
 #include "valid/DiffOracle.h"
 
+#include "analysis/TaintFlow.h"
 #include "core/Pass.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
@@ -33,6 +34,10 @@ const char *srp::valid::mismatchKindName(MismatchKind K) {
     return "final-state-diverged";
   case MismatchKind::SpecLeak:
     return "spec-leak";
+  case MismatchKind::SecretLeak:
+    return "secret-leak";
+  case MismatchKind::TaintDisagree:
+    return "taint-disagree";
   case MismatchKind::SimDiverged:
     return "sim-diverged";
   }
@@ -143,9 +148,17 @@ OracleReport runImpl(const FallibleBuilder &Build, const OracleOptions &Opts) {
                   "transform left invalid IR: " + Errors[0]);
   }
 
+  bool HasSecrets = false;
+  for (unsigned I = 0, E = Prom.numSymbols(); I != E; ++I)
+    if (Prom.symbol(I)->Secret)
+      HasSecrets = true;
+
   interp::MemTrace PromTrace;
+  interp::TaintTrace PromTaint;
   interp::Interpreter PromInterp(Prom);
   PromInterp.setMemTrace(&PromTrace);
+  if (HasSecrets)
+    PromInterp.setTaintTrace(&PromTaint);
   interp::RunResult PromRun = PromInterp.run(Opts.Config.InterpFuel);
   if (!PromRun.Ok)
     return fail(MismatchKind::PromotedRunFailed, PromRun.Error);
@@ -186,12 +199,41 @@ OracleReport runImpl(const FallibleBuilder &Build, const OracleOptions &Opts) {
                   formatString("speculative load at 0x%llx lands outside "
                                "every object",
                                static_cast<unsigned long long>(A.Addr)));
-    if (!TouchedSymbols.count(A.Symbol))
-      return fail(MismatchKind::SpecLeak,
-                  formatString("speculative load at 0x%llx observes symbol "
+    if (!TouchedSymbols.count(A.Symbol)) {
+      // Secret-granular classification: observing confidential storage
+      // the program never touches is the severe variant of the same
+      // non-interference violation.
+      bool IsSecret = A.Symbol < Prom.numSymbols() &&
+                      Prom.symbol(A.Symbol)->Secret;
+      return fail(IsSecret ? MismatchKind::SecretLeak
+                           : MismatchKind::SpecLeak,
+                  formatString("speculative load at 0x%llx observes %ssymbol "
                                "#%u, which the unpromoted run never touched",
                                static_cast<unsigned long long>(A.Addr),
-                               A.Symbol));
+                               IsSecret ? "secret " : "", A.Symbol));
+    }
+  }
+
+  // 4b. Taint cross-check (secret-labeled modules only): the static
+  // analysis::TaintFlow must over-approximate the dynamic shadow run.
+  // A static PASS with a dynamic leak means the analysis missed a flow —
+  // the disagreement the fuzzer hunts for.
+  if (HasSecrets) {
+    R.DynamicTaintLeaks = static_cast<unsigned>(PromTaint.Leaks.size());
+    for (unsigned I = 0; I < Prom.numFunctions(); ++I)
+      Prom.function(I)->recomputeCFG();
+    analysis::TaintFlow TF(Prom);
+    R.StaticTaintDiags = static_cast<unsigned>(TF.diags().size());
+    if (TF.diags().empty() && !PromTaint.Leaks.empty()) {
+      const interp::TaintTrace::Leak &L = PromTaint.Leaks.front();
+      return fail(MismatchKind::TaintDisagree,
+                  formatString("static taint analysis passed but the "
+                               "dynamic run leaked a secret at a(n) %s "
+                               "sink in %s (line %u, sites 0x%llx)",
+                               interp::taintSinkName(L.S),
+                               L.Function.c_str(), L.Line,
+                               static_cast<unsigned long long>(L.SpecMask)));
+    }
   }
 
   // 5. Fault schedules: same binary, adversarial ALAT. Faults only force

@@ -64,6 +64,14 @@ enum class MismatchKind : uint8_t {
   ExitDiverged,       ///< main's return value differs.
   FinalStateDiverged, ///< Final global memory differs.
   SpecLeak,           ///< Speculative load outside base-touched objects.
+  SecretLeak,         ///< Same, but the observed object is `secret`: the
+                      ///< promotion let speculation read confidential
+                      ///< storage the program never touches.
+  TaintDisagree,      ///< Static taint analysis passed the promoted IR
+                      ///< but the dynamic shadow run observed a
+                      ///< speculative secret leak — an analysis
+                      ///< soundness bug, the cross-check's reason to
+                      ///< exist.
   SimDiverged,        ///< Simulated run disagrees (possibly under faults).
 };
 
@@ -92,6 +100,13 @@ struct OracleReport {
   /// Evidence the run exercised speculation (tests assert on these).
   uint64_t SpeculativeAccesses = 0;
   unsigned FaultPlansRun = 0;
+  /// Taint cross-check evidence, filled when the module declares secret
+  /// symbols: findings of the static analysis::TaintFlow over the
+  /// promoted IR, and leaks the dynamic shadow-taint run observed. Both
+  /// nonzero (or both zero) is agreement; dynamic > 0 with static == 0
+  /// is TaintDisagree.
+  unsigned StaticTaintDiags = 0;
+  unsigned DynamicTaintLeaks = 0;
   pre::PromotionStats Promotion;
   arch::AlatStats Alat; ///< From the no-fault simulation.
 };

@@ -55,9 +55,10 @@ Workload tinyWorkload() {
 
 TEST(PassManagerTest, StandardPassList) {
   std::vector<std::string> Names = standardPassNames();
-  std::vector<std::string> Expected = {"build",  "profile",  "promote",
-                                       "specverify", "lower", "regalloc",
-                                       "simulate"};
+  std::vector<std::string> Expected = {"build",     "profile",
+                                       "promote",   "specverify",
+                                       "taintflow", "lower",
+                                       "regalloc",  "simulate"};
   EXPECT_EQ(Names, Expected);
 
   PassManager PM;

@@ -282,7 +282,8 @@ TEST(SpecVerifierNegative, OverCapacityRegion) {
   std::vector<unsigned> Temps;
   std::vector<Symbol *> Syms;
   for (int I = 0; I < 5; ++I) {
-    Syms.push_back(M.createGlobal("g" + std::to_string(I), TypeKind::Int));
+    Syms.push_back(
+        M.createGlobal(std::string("g") + std::to_string(I), TypeKind::Int));
     Temps.push_back(B.emitLoad(directRef(Syms[I]), SpecFlag::LdA));
   }
   for (int I = 0; I < 5; ++I)

@@ -1,0 +1,361 @@
+//===- TaintFlowTest.cpp - Speculative secret-taint analysis tests -------------===//
+//
+// The static taint dataflow (analysis/TaintFlow.h), the interpreter's
+// shadow-taint mode, and the proof witnesses (analysis/Witness.h): leaky
+// programs are flagged with the right sink kind, checked promotions over
+// secrets stay clean, the static verdict over-approximates the dynamic
+// one, and witness JSON is byte-identical across independent runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecVerifier.h"
+#include "analysis/TaintFlow.h"
+#include "analysis/Witness.h"
+
+#include "interp/Interpreter.h"
+#include "ir/CFG.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace srp;
+using namespace srp::analysis;
+
+namespace {
+
+/// Parses \p Text or fails the test.
+void parse(std::string_view Text, ir::Module &M) {
+  std::string Error;
+  ASSERT_TRUE(ir::parseModule(Text, M, Error)) << Error;
+}
+
+/// A correct speculative promotion over a secret: the check commits
+/// before any use, so no speculative secret ever reaches a sink.
+const char *CleanSrc = R"(
+global key : int secret
+global q : int
+global i : int
+global acc : int
+
+func main() -> int {
+entry:
+  t0 = addrof key
+  st q = t0
+  st key = 7
+  st i = 0
+  st acc = 0
+  t1 = ld<ld.a> key
+  br hdr
+hdr:
+  t2 = ld i
+  t3 = cmplt t2, 10
+  condbr t3, body, exit
+body:
+  st *q = 7
+  t1 = ld<ld.c.clr> key
+  t4 = ld acc
+  t5 = add t4, t1
+  st acc = t5
+  t6 = add t2, 1
+  st i = t6
+  br hdr
+exit:
+  t7 = ld acc
+  print t7
+  ret t7
+}
+)";
+
+/// The secret indexes an array access before its check commits.
+const char *LeakSrc = R"(
+global key : int secret
+global arr : int[8]
+global acc : int
+
+func main() -> int {
+entry:
+  st arr[3] = 11
+  t0 = ld<ld.a> key
+  t1 = ld arr[t0]
+  t0 = ld<ld.c.clr> key
+  t2 = add t1, 1
+  st acc = t2
+  t3 = ld acc
+  ret t3
+}
+)";
+
+/// The secret is laundered through memory (a chi on *p's pointees) and
+/// re-emerges under a different symbol inside the speculative window.
+const char *LaunderSrc = R"(
+global key : int secret
+global slot : int
+global p : int
+global arr : int[8]
+global out : int
+
+func main() -> int {
+entry:
+  t0 = addrof slot
+  st p = t0
+  t1 = ld<ld.a> key
+  st *p = t1
+  t2 = ld slot
+  t3 = ld arr[t2]
+  t1 = ld<ld.c.clr> key
+  st out = t3
+  t4 = ld out
+  ret t4
+}
+)";
+
+TEST(TaintFlowTest, SecretAnnotationRoundTrips) {
+  ir::Module M;
+  parse("global key : int secret\n"
+        "global pub : int\n"
+        "func main() -> int {\n"
+        "entry:\n"
+        "  t0 = ld key\n"
+        "  ret t0\n"
+        "}\n",
+        M);
+  ASSERT_EQ(M.globals().size(), 2u);
+  EXPECT_TRUE(M.globals()[0]->Secret);
+  EXPECT_FALSE(M.globals()[1]->Secret);
+
+  std::string Printed = ir::moduleToString(M);
+  EXPECT_NE(Printed.find("global key : int secret"), std::string::npos)
+      << Printed;
+  EXPECT_NE(Printed.find("global pub : int\n"), std::string::npos) << Printed;
+
+  ir::Module M2;
+  parse(Printed, M2);
+  EXPECT_TRUE(M2.globals()[0]->Secret);
+  EXPECT_FALSE(M2.globals()[1]->Secret);
+  EXPECT_EQ(ir::moduleToString(M2), Printed) << "print/parse must fixpoint";
+}
+
+TEST(TaintFlowTest, NoSecretsIsANoOp) {
+  ir::Module M;
+  parse("global a : int\n"
+        "func main() -> int {\n"
+        "entry:\n"
+        "  t0 = ld<ld.a> a\n"
+        "  t1 = ld a[t0]\n"
+        "  t0 = ld<ld.c.clr> a\n"
+        "  ret t1\n"
+        "}\n",
+        M);
+  TaintFlow TF(M);
+  EXPECT_FALSE(TF.hasSecrets());
+  EXPECT_TRUE(TF.diags().empty());
+}
+
+TEST(TaintFlowTest, CleanCheckedPromotionHasNoDiags) {
+  ir::Module M;
+  parse(CleanSrc, M);
+  TaintFlow TF(M);
+  EXPECT_TRUE(TF.hasSecrets());
+  EXPECT_TRUE(TF.diags().empty())
+      << formatTaintDiag(TF.diags().front());
+}
+
+TEST(TaintFlowTest, SpeculativeSecretAddressFlagged) {
+  ir::Module M;
+  parse(LeakSrc, M);
+  TaintFlow TF(M);
+  ASSERT_FALSE(TF.diags().empty());
+  const TaintDiag &D = TF.diags().front();
+  EXPECT_EQ(D.Kind, TaintDiagKind::SpecSecretAddress);
+  EXPECT_EQ(D.FunctionName, "main");
+  EXPECT_NE(D.Line, 0u) << "diagnostic must carry a source line";
+  EXPECT_NE(D.SpecMask, 0u) << "diagnostic must name the advanced-load site";
+  EXPECT_NE(D.StmtText.find("arr[t0]"), std::string::npos) << D.StmtText;
+  // file:line rendering for lint output.
+  std::string Formatted = formatTaintDiag(D, "leak.sir");
+  EXPECT_NE(Formatted.find("leak.sir:"), std::string::npos) << Formatted;
+  EXPECT_NE(Formatted.find("[spec-secret-address]"), std::string::npos)
+      << Formatted;
+}
+
+TEST(TaintFlowTest, ChiMergeLaunderingFlagged) {
+  ir::Module M;
+  parse(LaunderSrc, M);
+  TaintFlow TF(M);
+  ASSERT_FALSE(TF.diags().empty());
+  EXPECT_EQ(TF.diags().front().Kind, TaintDiagKind::SpecSecretAddress);
+  EXPECT_NE(TF.diags().front().StmtText.find("arr[t2]"), std::string::npos)
+      << TF.diags().front().StmtText;
+}
+
+TEST(TaintFlowTest, SpeculativeSecretBranchFlagged) {
+  ir::Module M;
+  parse("global key : int secret\n"
+        "global acc : int\n"
+        "func main() -> int {\n"
+        "entry:\n"
+        "  t0 = ld<ld.a> key\n"
+        "  condbr t0, a, b\n"
+        "a:\n"
+        "  st acc = 1\n"
+        "  br b\n"
+        "b:\n"
+        "  t0 = ld<ld.c.clr> key\n"
+        "  t1 = ld acc\n"
+        "  ret t1\n"
+        "}\n",
+        M);
+  TaintFlow TF(M);
+  ASSERT_FALSE(TF.diags().empty());
+  EXPECT_EQ(TF.diags().front().Kind, TaintDiagKind::SpecSecretBranch);
+}
+
+TEST(TaintFlowTest, SpeculativeSecretOutputFlagged) {
+  ir::Module M;
+  parse("global key : int secret\n"
+        "func main() -> int {\n"
+        "entry:\n"
+        "  t0 = ld<ld.a> key\n"
+        "  print t0\n"
+        "  t0 = ld<ld.c.clr> key\n"
+        "  ret t0\n"
+        "}\n",
+        M);
+  TaintFlow TF(M);
+  ASSERT_FALSE(TF.diags().empty());
+  EXPECT_EQ(TF.diags().front().Kind, TaintDiagKind::SpecSecretOutput);
+}
+
+TEST(TaintFlowTest, CheckedSecretAtSinkIsClean) {
+  // The same sinks, but after the check commits: printing a secret is
+  // only a finding inside a speculative window.
+  ir::Module M;
+  parse("global key : int secret\n"
+        "func main() -> int {\n"
+        "entry:\n"
+        "  t0 = ld<ld.a> key\n"
+        "  t0 = ld<ld.c.clr> key\n"
+        "  print t0\n"
+        "  condbr t0, a, b\n"
+        "a:\n"
+        "  br b\n"
+        "b:\n"
+        "  ret t0\n"
+        "}\n",
+        M);
+  TaintFlow TF(M);
+  EXPECT_TRUE(TF.diags().empty())
+      << formatTaintDiag(TF.diags().front());
+}
+
+/// Runs the interpreter's shadow-taint mode; requires a successful run.
+interp::TaintTrace dynamicTrace(ir::Module &M) {
+  interp::TaintTrace TT;
+  interp::Interpreter I(M);
+  I.setTaintTrace(&TT);
+  interp::RunResult R = I.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return TT;
+}
+
+TEST(TaintFlowTest, DynamicOracleAgreesOnLeakAndClean) {
+  {
+    ir::Module M;
+    parse(LeakSrc, M);
+    interp::TaintTrace TT = dynamicTrace(M);
+    ASSERT_FALSE(TT.Leaks.empty());
+    EXPECT_EQ(TT.Leaks.front().S, interp::TaintTrace::Sink::Address);
+    EXPECT_NE(TT.Leaks.front().SpecMask, 0u);
+  }
+  {
+    ir::Module M;
+    parse(CleanSrc, M);
+    interp::TaintTrace TT = dynamicTrace(M);
+    EXPECT_TRUE(TT.Leaks.empty());
+  }
+}
+
+TEST(TaintFlowTest, StaticOverapproximatesDynamic) {
+  // The soundness contract the fuzzer enforces at scale: any program the
+  // dynamic shadow run flags must also be flagged statically.
+  for (const char *Src : {CleanSrc, LeakSrc, LaunderSrc}) {
+    ir::Module M;
+    parse(Src, M);
+    TaintFlow TF(M);
+    interp::TaintTrace TT = dynamicTrace(M);
+    if (!TT.Leaks.empty()) {
+      EXPECT_FALSE(TF.diags().empty())
+          << "dynamic leak without a static finding in:\n"
+          << Src;
+    }
+  }
+}
+
+/// Full lint-mode witness pipeline on \p Src, serialized to a string.
+std::string witnessJSON(const char *Src, bool *Refuted = nullptr) {
+  ir::Module M;
+  std::string Error;
+  if (!ir::parseModule(Src, M, Error)) {
+    ADD_FAILURE() << Error;
+    return {};
+  }
+  TaintFlow TF(M);
+  std::vector<SpecDiag> SpecDiags = verifySpeculation(M);
+  interp::TaintTrace TT;
+  interp::Interpreter I(M);
+  I.setTaintTrace(&TT);
+  interp::RunResult R = I.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  std::vector<Witness> Ws = buildWitnesses(M, TF, SpecDiags, &TT);
+  EXPECT_FALSE(Ws.empty()) << "every checking load gets a witness";
+  if (Refuted)
+    *Refuted = hasRefutedWitness(Ws);
+  std::string JSON;
+  StringOStream OS(JSON);
+  writeWitnesses(Ws, M, TF, OS);
+  return JSON;
+}
+
+TEST(TaintFlowTest, WitnessCrossValidation) {
+  bool Refuted = true;
+  std::string Leak = witnessJSON(LeakSrc, &Refuted);
+  // Static and dynamic both flag the leak: CONFIRMED, not REFUTED.
+  EXPECT_FALSE(Refuted);
+  EXPECT_NE(Leak.find("\"status\": \"CONFIRMED\""), std::string::npos) << Leak;
+  EXPECT_NE(Leak.find("\"staticLeak\": true"), std::string::npos) << Leak;
+  EXPECT_NE(Leak.find("\"dynamicLeak\": true"), std::string::npos) << Leak;
+
+  std::string Clean = witnessJSON(CleanSrc, &Refuted);
+  EXPECT_FALSE(Refuted);
+  EXPECT_NE(Clean.find("\"staticLeak\": false"), std::string::npos) << Clean;
+  EXPECT_NE(Clean.find("\"dynamicLeak\": false"), std::string::npos) << Clean;
+  EXPECT_NE(Clean.find("\"invariant\": \"anchored-check\""),
+            std::string::npos)
+      << Clean;
+}
+
+TEST(TaintFlowTest, WitnessJSONIsDeterministic) {
+  // Two fully independent runs (fresh module, analysis, interpreter)
+  // must serialize byte-identically — the witness files are diffed in CI
+  // and across thread counts.
+  for (const char *Src : {CleanSrc, LeakSrc, LaunderSrc}) {
+    std::string First = witnessJSON(Src);
+    std::string Second = witnessJSON(Src);
+    EXPECT_FALSE(First.empty());
+    EXPECT_EQ(First, Second);
+  }
+}
+
+TEST(TaintFlowTest, DiagnosticsAreDeterministic) {
+  ir::Module M1, M2;
+  parse(LaunderSrc, M1);
+  parse(LaunderSrc, M2);
+  TaintFlow TF1(M1), TF2(M2);
+  ASSERT_EQ(TF1.diags().size(), TF2.diags().size());
+  for (size_t I = 0; I < TF1.diags().size(); ++I)
+    EXPECT_EQ(formatTaintDiag(TF1.diags()[I]), formatTaintDiag(TF2.diags()[I]));
+}
+
+} // namespace

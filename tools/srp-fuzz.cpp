@@ -20,14 +20,22 @@
 //     --no-minimize     keep findings at generated size
 //     --repro-dir=PATH  where minimized repros go (default fuzz-repros)
 //     --max-findings=N  stop collecting after N findings (default 10)
+//     --taint           label a deterministic subset of each program's
+//                       globals `secret`; the oracle then cross-checks
+//                       the static TaintFlow verdict against the
+//                       interpreter's shadow-taint run and reports any
+//                       static-PASS/dynamic-LEAK disagreement as a
+//                       taint-disagree finding
 //     --quiet           suppress per-batch progress
 //
 //   srp-fuzz --replay=SHAPE:PROG:CFG:FAULT
 //     Re-run one finding's triple and report the oracle verdict. The
 //     triple is printed with every finding and embedded in each repro
-//     file header.
+//     file header. Combine with --taint to replay a taint-mode finding
+//     (the secret labels are derived from the same seeds).
 //
-// Exit status: 0 clean sweep, 1 findings (or replay mismatch), 2 usage.
+// Exit status (matching srp-run lint): 0 clean sweep, 1 findings (or
+// replay mismatch), 2 usage errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -99,6 +107,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!parseU64Value(Arg.substr(15), V))
         return false;
       Opts.Fuzz.MaxFindings = static_cast<size_t>(V);
+    } else if (Arg == "--taint") {
+      Opts.Fuzz.Taint = true;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (startsWith(Arg, "--replay=")) {
@@ -132,7 +142,8 @@ int runReplay(const std::string &Arg, const Options &Opts) {
   const fuzz::FuzzConfig &FC = fuzz::fuzzConfigs()[Cfg];
   outs() << "replaying " << Arg << " (config " << FC.Name << ")\n";
   valid::OracleReport R = fuzz::replayTriple(
-      Shape, Prog, Cfg, Fault, Opts.Fuzz.FaultPlansPerProgram);
+      Shape, Prog, Cfg, Fault, Opts.Fuzz.FaultPlansPerProgram,
+      Opts.Fuzz.Taint);
   outs() << formatString(
       "speculative accesses %llu, fault plans run %u, advanced loads %u\n",
       (unsigned long long)R.SpeculativeAccesses, R.FaultPlansRun,

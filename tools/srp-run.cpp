@@ -30,13 +30,27 @@
 //     and --alat-entries) and the *promoted* IR is verified; with
 //     --no-promote the input is linted as written, which is the mode for
 //     hand-authored speculative .sir files. --Werror promotes warnings
-//     (the ALAT capacity lint) to a failing exit. Exit status: 0 clean,
-//     1 findings, 2 usage/parse errors.
+//     (the ALAT capacity lint) to a failing exit.
+//
+//     --taint additionally runs the speculative secret-taint dataflow
+//     (analysis/TaintFlow.h) over the linted IR; any `secret`-labelled
+//     value reaching an address, branch, or output inside a speculative
+//     window is a finding. --witness=<dir> emits one proof-witness JSON
+//     per input (analysis/Witness.h): every promoted web's anchoring
+//     invariant, alias facts, and static/dynamic taint verdict
+//     (CONFIRMED/REFUTED); a REFUTED witness is a finding. Diagnostics
+//     are deterministic: sorted by line, check, and context, with exact
+//     duplicates dropped.
+//
+//     Exit status (matching srp-fuzz): 0 clean, 1 findings, 2
+//     usage/parse/train errors.
 //
 //===----------------------------------------------------------------------===//
 
 #include "alias/AliasAnalysis.h"
 #include "analysis/SpecVerifier.h"
+#include "analysis/TaintFlow.h"
+#include "analysis/Witness.h"
 #include "codegen/Lowering.h"
 #include "core/Pass.h"
 #include "interp/Interpreter.h"
@@ -52,6 +66,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <tuple>
+
+#include <sys/stat.h>
 
 using namespace srp;
 
@@ -71,6 +88,8 @@ struct Options {
   bool Lint = false;
   bool Promote = true;     ///< lint the promoted IR (default) or as-is
   bool WarnAsError = false;
+  bool Taint = false;      ///< run the secret-taint dataflow too
+  std::string WitnessDir;  ///< emit proof-witness JSON here (implies taint)
 };
 
 /// Strict decimal parse for --opt=N values. Rejects empty, non-digit,
@@ -101,6 +120,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Promote = false;
     else if (Opts.Lint && Arg == "--Werror")
       Opts.WarnAsError = true;
+    else if (Opts.Lint && Arg == "--taint")
+      Opts.Taint = true;
+    else if (Opts.Lint && startsWith(Arg, "--witness=")) {
+      Opts.WitnessDir = Arg.substr(10);
+      Opts.Taint = true;
+      if (Opts.WitnessDir.empty()) {
+        errs() << "empty directory in '--witness='\n";
+        return false;
+      }
+    }
     else if (Arg == "--strategy=conservative")
       Opts.Promotion = pre::PromotionConfig::conservative();
     else if (Arg == "--strategy=baseline")
@@ -174,6 +203,57 @@ int listPasses() {
   return 0;
 }
 
+/// Deterministic diagnostic order: line first (the file:line users read),
+/// then check tag, then context. A stable sort keeps the verifier's
+/// function/block order for ties; exact duplicates (every field equal)
+/// are dropped afterwards.
+void sortAndDedupe(std::vector<analysis::SpecDiag> &Diags) {
+  auto Key = [](const analysis::SpecDiag &D) {
+    return std::tie(D.Line, D.Kind, D.Severity, D.FunctionName, D.BlockName,
+                    D.StmtText, D.Message);
+  };
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [&Key](const analysis::SpecDiag &A,
+                          const analysis::SpecDiag &B) {
+                     return Key(A) < Key(B);
+                   });
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [&Key](const analysis::SpecDiag &A,
+                                 const analysis::SpecDiag &B) {
+                            return Key(A) == Key(B);
+                          }),
+              Diags.end());
+}
+
+void sortAndDedupe(std::vector<analysis::TaintDiag> &Diags) {
+  auto Key = [](const analysis::TaintDiag &D) {
+    return std::tie(D.Line, D.Kind, D.FunctionName, D.BlockName, D.StmtText,
+                    D.SpecMask, D.Message);
+  };
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [&Key](const analysis::TaintDiag &A,
+                          const analysis::TaintDiag &B) {
+                     return Key(A) < Key(B);
+                   });
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [&Key](const analysis::TaintDiag &A,
+                                 const analysis::TaintDiag &B) {
+                            return Key(A) == Key(B);
+                          }),
+              Diags.end());
+}
+
+/// "dir/taint_leak.sir" -> "taint_leak" (for witness file naming).
+std::string inputStem(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Path
+                                                : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Base = Base.substr(0, Dot);
+  return Base.empty() ? std::string("module") : Base;
+}
+
 /// srp-run lint: static speculation-safety checking. Returns the process
 /// exit code. \p M is already parsed and verified.
 int runLint(ir::Module &M, const Options &Opts) {
@@ -205,6 +285,7 @@ int runLint(ir::Module &M, const Options &Opts) {
   SVC.AlatEntries = Opts.Sim.Alat.Entries;
   SVC.AA = &AA;
   std::vector<analysis::SpecDiag> Diags = analysis::verifySpeculation(M, SVC);
+  sortAndDedupe(Diags);
 
   unsigned NumErrors = 0, NumWarnings = 0;
   for (const analysis::SpecDiag &D : Diags) {
@@ -214,6 +295,54 @@ int runLint(ir::Module &M, const Options &Opts) {
       ++NumWarnings;
     errs() << analysis::formatSpecDiag(D, Opts.InputPath) << '\n';
   }
+
+  // --taint / --witness: the secret-taint dataflow over the linted IR,
+  // cross-validated against the interpreter's shadow run for witnesses.
+  unsigned NumRefuted = 0;
+  if (Opts.Taint) {
+    analysis::TaintFlowConfig TFC;
+    TFC.AA = &AA;
+    analysis::TaintFlow TF(M, TFC);
+    std::vector<analysis::TaintDiag> TDiags = TF.diags();
+    sortAndDedupe(TDiags);
+    NumErrors += static_cast<unsigned>(TDiags.size());
+    for (const analysis::TaintDiag &D : TDiags)
+      errs() << analysis::formatTaintDiag(D, Opts.InputPath) << '\n';
+
+    if (!Opts.WitnessDir.empty()) {
+      // Dynamic side of the cross-check: shadow-taint interpretation of
+      // the same IR. A trapping or main-less program simply contributes
+      // no dynamic observations.
+      interp::TaintTrace Dyn;
+      bool HaveDyn = false;
+      if (TF.hasSecrets() && M.findFunction("main")) {
+        interp::Interpreter I(M);
+        I.setTaintTrace(&Dyn);
+        HaveDyn = I.run().Ok;
+      }
+      std::vector<analysis::Witness> Ws = analysis::buildWitnesses(
+          M, TF, Diags, HaveDyn ? &Dyn : nullptr);
+      for (const analysis::Witness &W : Ws)
+        if (W.St == analysis::Witness::Status::Refuted)
+          ++NumRefuted;
+      ::mkdir(Opts.WitnessDir.c_str(), 0755); // existing dir is fine
+      std::string Path =
+          Opts.WitnessDir + "/" + inputStem(Opts.InputPath) + ".witness.json";
+      std::FILE *File = std::fopen(Path.c_str(), "wb");
+      if (!File) {
+        errs() << "cannot write '" << Path << "'\n";
+        return 2;
+      }
+      FileOStream OS(File);
+      analysis::writeWitnesses(Ws, M, TF, OS);
+      OS.flush();
+      std::fclose(File);
+      errs() << formatString("%s: wrote %zu witness(es), %u refuted\n",
+                             Path.c_str(), Ws.size(), NumRefuted);
+      NumErrors += NumRefuted;
+    }
+  }
+
   errs() << formatString("%s: %u error(s), %u warning(s)\n",
                          Opts.InputPath.c_str(), NumErrors, NumWarnings);
   if (NumErrors > 0 || (Opts.WarnAsError && NumWarnings > 0))
