@@ -386,7 +386,10 @@ TaintFlow::TaintFlow(ir::Module &M, const TaintFlowConfig &Config) {
   if (Config.AA) {
     AA = Config.AA;
   } else {
-    OwnedAA = std::make_unique<alias::AndersenAnalysis>(M);
+    // Lint-path instance: taint webs query only the references secret
+    // values reach, so demand mode solves a fraction of the program.
+    OwnedAA = std::make_unique<alias::AndersenAnalysis>(
+        M, alias::AndersenAnalysis::SolveMode::Demand);
     AA = OwnedAA.get();
   }
   SymShadow.assign(M.numSymbols(), Shadow());

@@ -24,6 +24,7 @@ Alat::Alat(const AlatConfig &Config) : Config(Config) {
   if (NumSets == 0)
     NumSets = 1;
   Table.assign(NumSets * Config.Ways, Entry());
+  Trace = traceOn();
 }
 
 Alat::Alat(const AlatConfig &Config, const FaultPlan &Plan) : Alat(Config) {
@@ -47,6 +48,7 @@ void Alat::dropRandomValidEntry(uint64_t &Counter) {
       continue;
     if (Pick-- == 0) {
       E.Valid = false;
+      noteDropped();
       ++Counter;
       return;
     }
@@ -88,10 +90,11 @@ const Alat::Entry *Alat::findEntry(unsigned Reg) const {
 
 void Alat::allocate(unsigned Reg, uint64_t Addr) {
   ++Stats.Allocations;
-  if (traceOn() && TraceBudget-- > 0)
+  if (Trace && TraceBudget-- > 0)
     fprintf(stderr, "alloc r%u @%llx\n", Reg, (unsigned long long)Addr);
   if (Entry *E = findEntry(Reg)) {
     E->Addr = Addr;
+    TagBloom |= uint64_t(1) << bloomBit(partialTag(Addr));
     if (Faults.enabled()) {
       faultSpuriousInvalidate();
       faultCapacitySqueeze();
@@ -113,25 +116,28 @@ void Alat::allocate(unsigned Reg, uint64_t Addr) {
     Victim = &Table[Set * Config.Ways];
     ++Stats.CapacityEvictions;
   }
-  if (traceOn() && Victim->Valid && TraceBudget > 0)
+  if (Trace && Victim->Valid && TraceBudget > 0)
     fprintf(stderr, "evict r%u for r%u\n", Victim->Reg, Reg);
+  if (!Victim->Valid)
+    ++NumValid;
   Victim->Valid = true;
   Victim->Reg = Reg;
   Victim->Addr = Addr;
+  TagBloom |= uint64_t(1) << bloomBit(partialTag(Addr));
   if (Faults.enabled()) {
     faultSpuriousInvalidate();
     faultCapacitySqueeze();
   }
 }
 
-void Alat::storeNotify(uint64_t Addr) {
-  uint64_t Tag = partialTag(Addr);
+void Alat::storeNotifyScan(uint64_t Addr, uint64_t Tag) {
   for (Entry &E : Table) {
     if (!E.Valid || partialTag(E.Addr) != Tag)
       continue;
     E.Valid = false;
+    noteDropped();
     ++Stats.Invalidations;
-    if (traceOn() && TraceBudget-- > 0)
+    if (Trace && TraceBudget-- > 0)
       fprintf(stderr, "inval r%u @%llx by store @%llx\n", E.Reg,
               (unsigned long long)E.Addr, (unsigned long long)Addr);
     if (E.Addr != Addr)
@@ -145,6 +151,7 @@ bool Alat::check(unsigned Reg, uint64_t Addr, bool Clear) {
     if (faultForcesMiss()) {
       if (Entry *E = findEntry(Reg)) {
         E->Valid = false;
+        noteDropped();
         ++Stats.Faults.ForcedMisses;
       }
     }
@@ -152,14 +159,16 @@ bool Alat::check(unsigned Reg, uint64_t Addr, bool Clear) {
   Entry *E = findEntry(Reg);
   if (!E || E->Addr != Addr) {
     ++Stats.CheckMisses;
-    if (traceOn() && TraceBudget-- > 0)
+    if (Trace && TraceBudget-- > 0)
       fprintf(stderr, "miss r%u @%llx (%s)\n", Reg,
               (unsigned long long)Addr, E ? "addr-mismatch" : "no-entry");
     return false;
   }
   ++Stats.CheckHits;
-  if (Clear)
+  if (Clear) {
     E->Valid = false;
+    noteDropped();
+  }
   return true;
 }
 
@@ -169,6 +178,7 @@ bool Alat::checkRegister(unsigned Reg) {
     if (faultForcesMiss()) {
       if (Entry *E = findEntry(Reg)) {
         E->Valid = false;
+        noteDropped();
         ++Stats.Faults.ForcedMisses;
       }
     }
@@ -177,18 +187,17 @@ bool Alat::checkRegister(unsigned Reg) {
 }
 
 void Alat::invalidateRegister(unsigned Reg) {
-  if (Entry *E = findEntry(Reg))
+  if (Entry *E = findEntry(Reg)) {
     E->Valid = false;
+    noteDropped();
+  }
 }
 
 void Alat::invalidateAll() {
   for (Entry &E : Table)
     E.Valid = false;
+  NumValid = 0;
+  TagBloom = 0;
 }
 
-unsigned Alat::numValidEntries() const {
-  unsigned Count = 0;
-  for (const Entry &E : Table)
-    Count += E.Valid;
-  return Count;
-}
+unsigned Alat::numValidEntries() const { return NumValid; }

@@ -65,8 +65,16 @@ public:
   void allocate(unsigned Reg, uint64_t Addr);
 
   /// A store to \p Addr: invalidates every entry whose partial tag
-  /// matches.
-  void storeNotify(uint64_t Addr);
+  /// matches. Runs once per simulated store, so the empty-table and
+  /// Bloom rejections stay inline and the table scan is out of line.
+  void storeNotify(uint64_t Addr) {
+    if (NumValid == 0)
+      return;
+    uint64_t Tag = partialTag(Addr);
+    if (!((TagBloom >> bloomBit(Tag)) & 1))
+      return; // no live entry can carry this tag
+    storeNotifyScan(Addr, Tag);
+  }
 
   /// True if \p Reg has a valid entry whose recorded address is \p Addr.
   /// \p Clear removes the entry on a hit (the .clr completer).
@@ -97,9 +105,18 @@ private:
     return Addr & ((uint64_t(1) << Config.PartialTagBits) - 1);
   }
 
+  /// Bloom bucket of a partial tag. Skips the low three bits: accesses
+  /// are 8-byte aligned, so they never discriminate and would collapse
+  /// the filter to eight buckets.
+  static unsigned bloomBit(uint64_t Tag) {
+    return static_cast<unsigned>((Tag >> 3) & 63);
+  }
+
   /// Entries are organized in Entries/Ways sets indexed by register
   /// number, mirroring the register-indexed Itanium organization.
   unsigned setOf(unsigned Reg) const { return Reg % NumSets; }
+
+  void storeNotifyScan(uint64_t Addr, uint64_t Tag);
 
   Entry *findEntry(unsigned Reg);
   const Entry *findEntry(unsigned Reg) const;
@@ -113,6 +130,22 @@ private:
   AlatConfig Config;
   unsigned NumSets;
   std::vector<Entry> Table; ///< NumSets * Ways.
+  /// Count of valid entries, maintained at every transition: storeNotify
+  /// runs per simulated store and skips the table scan when it is zero
+  /// (always, for non-speculative configs).
+  unsigned NumValid = 0;
+  /// Bloom mask over the partial tags of entries allocated since the
+  /// table was last empty (bit = tag's low six bits). storeNotify's
+  /// table scan is skipped when the store's tag cannot match any entry;
+  /// invalidations leave the mask conservatively stale, and it resets
+  /// whenever NumValid reaches zero.
+  uint64_t TagBloom = 0;
+  /// Drops one valid entry's accounting (the caller clears E.Valid).
+  void noteDropped() {
+    if (--NumValid == 0)
+      TagBloom = 0;
+  }
+  bool Trace = false; ///< SRP_ALAT_TRACE, latched at construction.
   AlatStats Stats;
   FaultPlan Faults;   ///< Disabled by default.
   RNG FaultRng{0};    ///< Only drawn from when Faults.enabled().

@@ -14,19 +14,29 @@ CacheLevel::CacheLevel(uint64_t SizeBytes, unsigned Ways, unsigned LineBytes)
   NumSets = static_cast<unsigned>(NumLines / Ways);
   if (NumSets == 0)
     NumSets = 1;
-  Lines.assign(static_cast<size_t>(NumSets) * Ways, Line());
+  auto IsPow2 = [](unsigned V) { return V != 0 && (V & (V - 1)) == 0; };
+  Pow2Geometry = IsPow2(LineBytes) && IsPow2(NumSets);
+  if (Pow2Geometry) {
+    while ((1u << LineShift) < LineBytes)
+      ++LineShift;
+    while ((1u << SetShift) < NumSets)
+      ++SetShift;
+  }
 }
 
-bool CacheLevel::access(uint64_t Addr) {
-  unsigned Set = indexOf(Addr);
-  uint64_t Tag = tagOf(Addr);
-  ++Clock;
+bool CacheLevel::accessScan(unsigned Set, uint64_t Tag) {
+  materialize();
+  NegSet = ~0u; // a miss installs a line; drop the negative MRU
+  NegTag = ~uint64_t(0);
   Line *Victim = nullptr;
   for (unsigned W = 0; W < Ways; ++W) {
     Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
     if (L.Valid && L.Tag == Tag) {
       L.Lru = Clock;
       ++Hits;
+      LastLine = &L;
+      LastSet = Set;
+      LastTag = Tag;
       return true;
     }
     if (!Victim || !L.Valid || (Victim->Valid && L.Lru < Victim->Lru))
@@ -36,18 +46,24 @@ bool CacheLevel::access(uint64_t Addr) {
   Victim->Valid = true;
   Victim->Tag = Tag;
   Victim->Lru = Clock;
+  LastLine = Victim;
+  LastSet = Set;
+  LastTag = Tag;
   return false;
 }
 
-void CacheLevel::install(uint64_t Addr) {
-  unsigned Set = indexOf(Addr);
-  uint64_t Tag = tagOf(Addr);
-  ++Clock;
+void CacheLevel::installScan(unsigned Set, uint64_t Tag) {
+  materialize();
+  NegSet = ~0u;
+  NegTag = ~uint64_t(0);
   Line *Victim = nullptr;
   for (unsigned W = 0; W < Ways; ++W) {
     Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
     if (L.Valid && L.Tag == Tag) {
       L.Lru = Clock;
+      LastLine = &L;
+      LastSet = Set;
+      LastTag = Tag;
       return;
     }
     if (!Victim || !L.Valid || (Victim->Valid && L.Lru < Victim->Lru))
@@ -56,11 +72,19 @@ void CacheLevel::install(uint64_t Addr) {
   Victim->Valid = true;
   Victim->Tag = Tag;
   Victim->Lru = Clock;
+  LastLine = Victim;
+  LastSet = Set;
+  LastTag = Tag;
 }
 
 bool CacheLevel::probe(uint64_t Addr) const {
+  if (Lines.empty())
+    return false;
   unsigned Set = indexOf(Addr);
   uint64_t Tag = tagOf(Addr);
+  if (LastLine && Set == LastSet && Tag == LastTag && LastLine->Valid &&
+      LastLine->Tag == Tag)
+    return true;
   for (unsigned W = 0; W < Ways; ++W) {
     const Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
     if (L.Valid && L.Tag == Tag)
@@ -69,14 +93,27 @@ bool CacheLevel::probe(uint64_t Addr) const {
   return false;
 }
 
+void CacheLevel::refreshScan(unsigned Set, uint64_t Tag) {
+  for (unsigned W = 0; W < Ways; ++W) {
+    Line &L = Lines[static_cast<size_t>(Set) * Ways + W];
+    if (L.Valid && L.Tag == Tag) {
+      L.Lru = ++Clock;
+      LastLine = &L;
+      LastSet = Set;
+      LastTag = Tag;
+      return;
+    }
+  }
+  NegSet = Set;
+  NegTag = Tag;
+}
+
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
     : Config(Config), L1(Config.L1Size, Config.L1Ways, Config.LineBytes),
       L2(Config.L2Size, Config.L2Ways, Config.LineBytes),
       L3(Config.L3Size, Config.L3Ways, Config.LineBytes) {}
 
-unsigned MemoryHierarchy::loadLatency(uint64_t Addr, bool Fp) {
-  if (!Fp && L1.access(Addr))
-    return Config.L1Latency;
+unsigned MemoryHierarchy::loadLatencyL2(uint64_t Addr, bool Fp) {
   if (L2.access(Addr)) {
     if (!Fp)
       L1.install(Addr);
@@ -92,9 +129,3 @@ unsigned MemoryHierarchy::loadLatency(uint64_t Addr, bool Fp) {
   return Config.MemLatency;
 }
 
-void MemoryHierarchy::store(uint64_t Addr) {
-  // Write-allocate into L2; refresh L1 when the line is already present.
-  if (L1.probe(Addr))
-    L1.install(Addr);
-  L2.install(Addr);
-}

@@ -16,6 +16,7 @@
 #ifndef SRP_ARCH_CACHES_H
 #define SRP_ARCH_CACHES_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,13 +28,59 @@ public:
   CacheLevel(uint64_t SizeBytes, unsigned Ways, unsigned LineBytes);
 
   /// True on hit; on miss the line is installed (possibly evicting LRU).
-  bool access(uint64_t Addr);
+  /// Header-inline MRU fast path (one compare, no way scan) in front of
+  /// the out-of-line scan: the simulator calls this per retired load.
+  bool access(uint64_t Addr) {
+    unsigned Set = indexOf(Addr);
+    uint64_t Tag = tagOf(Addr);
+    ++Clock;
+    if (LastLine && Set == LastSet && Tag == LastTag && LastLine->Valid &&
+        LastLine->Tag == Tag) {
+      LastLine->Lru = Clock;
+      ++Hits;
+      return true;
+    }
+    return accessScan(Set, Tag);
+  }
 
   /// Installs a line without reporting hit/miss (used on write-allocate).
-  void install(uint64_t Addr);
+  void install(uint64_t Addr) {
+    unsigned Set = indexOf(Addr);
+    uint64_t Tag = tagOf(Addr);
+    ++Clock;
+    if (LastLine && Set == LastSet && Tag == LastTag && LastLine->Valid &&
+        LastLine->Tag == Tag) {
+      LastLine->Lru = Clock;
+      return;
+    }
+    installScan(Set, Tag);
+  }
 
   /// True without installing.
   bool probe(uint64_t Addr) const;
+
+  /// probe-then-install-if-present in one scan: refreshes the line's LRU
+  /// stamp when resident, does nothing (and leaves Clock untouched, like
+  /// a miss-side probe) when not. Equivalent to
+  /// `if (probe(A)) install(A);` without the second way scan.
+  void refresh(uint64_t Addr) {
+    unsigned Set = indexOf(Addr);
+    uint64_t Tag = tagOf(Addr);
+    if (LastLine && Set == LastSet && Tag == LastTag && LastLine->Valid &&
+        LastLine->Tag == Tag) {
+      LastLine->Lru = ++Clock;
+      return;
+    }
+    if (Lines.empty()) // nothing resident yet; refresh never installs
+      return;
+    // Stores mostly miss this level, and a refresh miss is a no-op; the
+    // negative MRU below remembers the last line confirmed absent. It is
+    // cleared whenever a line is installed (the only way a line can
+    // appear), so a negative hit is always still a miss.
+    if (Set == NegSet && Tag == NegTag)
+      return;
+    refreshScan(Set, Tag);
+  }
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
@@ -45,14 +92,53 @@ private:
     uint64_t Lru = 0;
   };
 
+  // Every simulated load runs indexOf/tagOf on up to three levels; with
+  // the usual power-of-two line size and set count they are shifts and
+  // masks (precomputed in the constructor), with a divide fallback for
+  // odd geometries.
   unsigned indexOf(uint64_t Addr) const {
+    if (Pow2Geometry)
+      return static_cast<unsigned>((Addr >> LineShift) & (NumSets - 1));
     return static_cast<unsigned>((Addr / LineBytes) % NumSets);
   }
-  uint64_t tagOf(uint64_t Addr) const { return Addr / LineBytes / NumSets; }
+  uint64_t tagOf(uint64_t Addr) const {
+    if (Pow2Geometry)
+      return Addr >> (LineShift + SetShift);
+    return Addr / LineBytes / NumSets;
+  }
+
+  bool accessScan(unsigned Set, uint64_t Tag);
+  void installScan(unsigned Set, uint64_t Tag);
+  void refreshScan(unsigned Set, uint64_t Tag);
+
+  /// Lines is sized on first use: a hierarchy is built per simulated
+  /// run, and zero-filling L3's line array (~32k lines) for short
+  /// programs that never miss L2 dominates construction cost.
+  void materialize() {
+    if (Lines.empty())
+      Lines.assign(static_cast<std::size_t>(NumSets) * Ways, Line());
+  }
 
   unsigned Ways;
   unsigned LineBytes;
   unsigned NumSets;
+  bool Pow2Geometry = false;
+  unsigned LineShift = 0;
+  unsigned SetShift = 0;
+  // One-entry MRU cache: consecutive accesses mostly land in the line
+  // touched last, and when that line still holds the tag the way scan
+  // and victim search are pure overhead. The fast path performs the
+  // identical Clock/Lru/Hits updates, so replacement behaviour and
+  // counters are unchanged. Line pointers are stable (Lines never
+  // resizes); an eviction reusing the slot changes its Tag, which the
+  // fast-path compare catches.
+  Line *LastLine = nullptr;
+  unsigned LastSet = 0;
+  uint64_t LastTag = 0;
+  /// Negative MRU for refresh(): the last (set, tag) a refresh scan
+  /// found absent. ~0 values never match a real lookup.
+  unsigned NegSet = ~0u;
+  uint64_t NegTag = ~uint64_t(0);
   std::vector<Line> Lines;
   uint64_t Clock = 0;
   uint64_t Hits = 0;
@@ -81,11 +167,22 @@ public:
   explicit MemoryHierarchy(const MemoryConfig &Config);
 
   /// Latency of a load; \p Fp loads bypass L1 (Itanium floating point
-  /// loads are served from L2).
-  unsigned loadLatency(uint64_t Addr, bool Fp);
+  /// loads are served from L2). Header-inline so the per-load L1 MRU hit
+  /// costs no cross-TU call.
+  unsigned loadLatency(uint64_t Addr, bool Fp) {
+    if (!Fp && L1.access(Addr))
+      return Config.L1Latency;
+    return loadLatencyL2(Addr, Fp);
+  }
 
   /// Store: updates the hierarchy; stores are fire-and-forget for timing.
-  void store(uint64_t Addr);
+  void store(uint64_t Addr) {
+    // Write-allocate into L2; refresh L1 when the line is already present.
+    L1.refresh(Addr);
+    L2.install(Addr);
+  }
+
+  unsigned loadLatencyL2(uint64_t Addr, bool Fp);
 
   uint64_t l1Hits() const { return L1.hits(); }
   uint64_t l1Misses() const { return L1.misses(); }

@@ -4,11 +4,13 @@
 
 #include "interp/Interpreter.h" // layout constants
 #include "support/Error.h"
+#include "support/PagedMemory.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
-#include <unordered_map>
 
 using namespace srp;
 using namespace srp::arch;
@@ -20,22 +22,30 @@ namespace {
 class Machine {
 public:
   Machine(const MModule &M, const SimConfig &Config)
-      : M(M), Config(Config), Table(Config.Alat, Config.Faults),
+      : M(M), Config(Config), IssueW(Config.IssueWidth),
+        MaxInstrs(Config.MaxInstructions), Table(Config.Alat, Config.Faults),
         Mem(Config.Memory) {}
 
   SimResult run();
 
 private:
+  // (hot-loop constants are latched in the constructor)
   struct ReturnPoint {
     const MFunction *F;
     unsigned Block;
     unsigned Index;
     unsigned StackedRegs; ///< callee's frame for the RSE pop.
-    /// The caller's stacked register window (r32..r127 and f32..f127).
-    /// The IA-64 register stack renames these per frame; a flat register
-    /// file must save and restore them instead. The RSE *timing* of the
-    /// same mechanism is charged by rseCall/rseReturn.
-    std::vector<uint64_t> SavedStacked;
+    /// The IA-64 register stack renames r32..r127 / f32..f127 per frame;
+    /// a flat register file must save and restore them instead. Only the
+    /// window the callee can actually write ([FirstStackedReg,
+    /// StackedRegHigh) per file, see MFunction) needs copying — regs
+    /// above it are untouched across the call by induction. The saved
+    /// words live in the pooled SaveArea starting at SavedBase, so calls
+    /// never allocate. The RSE *timing* of the same mechanism is charged
+    /// by rseCall/rseReturn.
+    unsigned IntHigh;
+    unsigned FpHigh;
+    size_t SavedBase;
   };
 
   void trap(std::string Message) {
@@ -51,8 +61,7 @@ private:
                         static_cast<unsigned long long>(Addr)));
       return 0;
     }
-    auto It = Memory.find(Addr >> 3);
-    return It == Memory.end() ? 0 : It->second;
+    return Memory.load(Addr >> 3);
   }
 
   void write64(uint64_t Addr, uint64_t Bits) {
@@ -61,7 +70,7 @@ private:
                         static_cast<unsigned long long>(Addr)));
       return;
     }
-    Memory[Addr >> 3] = Bits;
+    Memory.store(Addr >> 3, Bits);
   }
 
   uint64_t reg(unsigned R) const {
@@ -75,26 +84,97 @@ private:
       return;
     Regs[R] = V;
     Ready[R] = ReadyAt;
+    WriteSeq[R] = RetSeq;
     LoadProduced[R] = FromLoad;
+    if (ReadyAt > PendingUntil)
+      PendingUntil = ReadyAt;
   }
+
+  static bool isStackedIdx(unsigned R) {
+    return (R - FirstStackedReg) < NumStackedRegs ||
+           (R - (FpRegBase + FirstStackedReg)) < NumStackedRegs;
+  }
+
+  /// The ready cycle issue() must observe for source register \p R.
+  /// Architecturally every return overwrites Ready of the *whole*
+  /// stacked file with the return cycle (a pending caller-side load
+  /// latency does not survive the call); doing that as 192 stores per
+  /// Ret dominated the simulator, so Ret instead bumps RetSeq and a
+  /// stacked register not written since (WriteSeq stale) reads the
+  /// recorded LastRetCycle.
+  uint64_t readyOf(unsigned R) const {
+    if (isStackedIdx(R) && WriteSeq[R] != RetSeq)
+      return LastRetCycle;
+    return Ready[R];
+  }
+
+  /// Folds one source register into the issue dependence scan. NoReg and
+  /// virtual-register sentinels fall outside [0, FirstVirtualReg) and are
+  /// skipped; RegZero needs no special case because setReg never writes
+  /// slot 0, so Ready[0] and LoadProduced[0] stay zero.
+  void srcDep(unsigned R, uint64_t &Avail, bool &LoadLimited) {
+    if (R >= FirstVirtualReg)
+      return;
+    uint64_t Rdy = readyOf(R);
+    if (Rdy > Avail) {
+      Avail = Rdy;
+      LoadLimited = LoadProduced[R];
+    } else if (Rdy == Avail && Avail > Cycle && LoadProduced[R]) {
+      LoadLimited = true;
+    }
+  }
+
+  /// Source-operand shape per opcode, mirroring MInstr::sources():
+  /// 0 = none, 1 = store (Rs1, Rs3), 2 = select (Rs1, Rs2, Rs3),
+  /// 3 = default (Rs1, and Rs2 unless the immediate form). issue() runs
+  /// once per simulated instruction; the byte table replaces a second
+  /// opcode switch over the same instruction.
+  static constexpr auto SrcShape = [] {
+    std::array<uint8_t, static_cast<size_t>(MOp::Nop) + 1> T{};
+    for (auto &V : T)
+      V = 3;
+    for (MOp Op : {MOp::MovI, MOp::Br, MOp::Ret, MOp::Nop, MOp::Call})
+      T[static_cast<size_t>(Op)] = 0;
+    T[static_cast<size_t>(MOp::St)] = 1;
+    T[static_cast<size_t>(MOp::StA)] = 1;
+    T[static_cast<size_t>(MOp::Sel)] = 2;
+    return T;
+  }();
 
   /// Advances the issue clock over source dependences and a slot.
   void issue(const MInstr &I) {
-    unsigned Srcs[3];
-    unsigned Count;
-    I.sources(Srcs, Count);
+    // No register in the whole file has a ready cycle beyond the clock
+    // (PendingUntil is a monotone watermark over every setReg, and
+    // LastRetCycle never exceeds Cycle), so the dependence scan cannot
+    // move Avail and is skipped. Pure ALU stretches stay on this path.
+    if (Cycle >= PendingUntil) {
+      ++SlotsUsed;
+      if (SlotsUsed >= IssueW) {
+        ++Cycle;
+        SlotsUsed = 0;
+      }
+      ++Counters.Instructions;
+      return;
+    }
     uint64_t Avail = Cycle;
     bool LoadLimited = false;
-    for (unsigned K = 0; K < Count; ++K) {
-      unsigned R = Srcs[K];
-      if (R == RegZero || R >= Regs.size())
-        continue;
-      if (Ready[R] > Avail) {
-        Avail = Ready[R];
-        LoadLimited = LoadProduced[R];
-      } else if (Ready[R] == Avail && Avail > Cycle && LoadProduced[R]) {
-        LoadLimited = true;
-      }
+    switch (SrcShape[static_cast<size_t>(I.Op)]) {
+    case 0:
+      break;
+    case 1:
+      srcDep(I.Rs1, Avail, LoadLimited);
+      srcDep(I.Rs3, Avail, LoadLimited);
+      break;
+    case 2:
+      srcDep(I.Rs1, Avail, LoadLimited);
+      srcDep(I.Rs2, Avail, LoadLimited);
+      srcDep(I.Rs3, Avail, LoadLimited);
+      break;
+    default:
+      srcDep(I.Rs1, Avail, LoadLimited);
+      if (!I.HasImm)
+        srcDep(I.Rs2, Avail, LoadLimited);
+      break;
     }
     if (Avail > Cycle) {
       if (LoadLimited)
@@ -103,7 +183,7 @@ private:
       SlotsUsed = 0;
     }
     ++SlotsUsed;
-    if (SlotsUsed >= Config.IssueWidth) {
+    if (SlotsUsed >= IssueW) {
       ++Cycle;
       SlotsUsed = 0;
     }
@@ -147,19 +227,34 @@ private:
 
   const MModule &M;
   const SimConfig &Config;
+  const unsigned IssueW; ///< Config.IssueWidth, read once per instruction.
+  const uint64_t MaxInstrs; ///< Config.MaxInstructions, checked per instruction.
   Alat Table;
   MemoryHierarchy Mem;
 
   std::vector<uint64_t> Regs = std::vector<uint64_t>(FirstVirtualReg, 0);
   std::vector<uint64_t> Ready = std::vector<uint64_t>(FirstVirtualReg, 0);
-  std::vector<bool> LoadProduced = std::vector<bool>(FirstVirtualReg, 0);
-  std::unordered_map<uint64_t, uint64_t> Memory;
+  /// uint8_t, not bool: issue() reads and setReg() writes this once per
+  /// simulated instruction, and vector<bool>'s bit packing costs a
+  /// read-modify-write on the hot path.
+  std::vector<uint8_t> LoadProduced = std::vector<uint8_t>(FirstVirtualReg, 0);
+  /// Lazy whole-file Ready overwrite on Ret: see readyOf().
+  std::vector<uint64_t> WriteSeq = std::vector<uint64_t>(FirstVirtualReg, 0);
+  uint64_t RetSeq = 0;
+  uint64_t LastRetCycle = 0;
+  /// Highest ready cycle ever written by setReg; while Cycle is at or
+  /// past it, issue()'s dependence scan is provably a no-op.
+  uint64_t PendingUntil = 0;
+  PagedMemory Memory;
   uint64_t HeapTop = interp::layout::HeapBase;
 
   const MFunction *CurF = nullptr;
   unsigned CurBlock = 0;
   unsigned CurIndex = 0;
   std::vector<ReturnPoint> CallStack;
+  /// Pooled stacked-register save area; ReturnPoint::SavedBase indexes
+  /// into it. Grows once to the deepest call chain's footprint.
+  std::vector<uint64_t> SaveArea;
 
   uint64_t Cycle = 0;
   unsigned SlotsUsed = 0;
@@ -184,7 +279,6 @@ void Machine::execute(const MInstr &I) {
   auto AsD = [](uint64_t V) { return std::bit_cast<double>(V); };
 
   issue(I);
-  LastLoadLatency = 0;
 
   auto SetAlu = [&](uint64_t V, unsigned Latency = 1) {
     setReg(I.Rd, V, Cycle + Latency - 1, false);
@@ -374,15 +468,20 @@ void Machine::execute(const MInstr &I) {
       trap("call depth limit exceeded");
       return;
     }
-    ReturnPoint RP{CurF, I.Target, 0, I.Callee->StackedRegsUsed, {}};
-    RP.SavedStacked.reserve(2 * NumStackedRegs);
-    for (unsigned R = FirstStackedReg;
-         R < FirstStackedReg + NumStackedRegs; ++R)
-      RP.SavedStacked.push_back(Regs[R]);
-    for (unsigned R = FpRegBase + FirstStackedReg;
-         R < FpRegBase + FirstStackedReg + NumStackedRegs; ++R)
-      RP.SavedStacked.push_back(Regs[R]);
-    CallStack.push_back(std::move(RP));
+    ReturnPoint RP{CurF,
+                   I.Target,
+                   0,
+                   I.Callee->StackedRegsUsed,
+                   I.Callee->StackedRegHigh,
+                   I.Callee->FpRegHigh,
+                   SaveArea.size()};
+    // Bulk range inserts: one capacity check and a memmove per window,
+    // not a push_back per register.
+    SaveArea.insert(SaveArea.end(), Regs.data() + FirstStackedReg,
+                    Regs.data() + RP.IntHigh);
+    SaveArea.insert(SaveArea.end(), Regs.data() + FpRegBase + FirstStackedReg,
+                    Regs.data() + RP.FpHigh);
+    CallStack.push_back(RP);
     rseCall(I.Callee->StackedRegsUsed);
     CurF = I.Callee;
     CurBlock = 0;
@@ -395,20 +494,20 @@ void Machine::execute(const MInstr &I) {
       Finished = true;
       return;
     }
-    ReturnPoint RP = std::move(CallStack.back());
+    ReturnPoint RP = CallStack.back();
     CallStack.pop_back();
     rseReturn(RP.StackedRegs);
-    size_t K = 0;
-    for (unsigned R = FirstStackedReg;
-         R < FirstStackedReg + NumStackedRegs; ++R, ++K) {
-      Regs[R] = RP.SavedStacked[K];
-      Ready[R] = Cycle;
-    }
-    for (unsigned R = FpRegBase + FirstStackedReg;
-         R < FpRegBase + FirstStackedReg + NumStackedRegs; ++R, ++K) {
-      Regs[R] = RP.SavedStacked[K];
-      Ready[R] = Cycle;
-    }
+    const uint64_t *Src = SaveArea.data() + RP.SavedBase;
+    std::copy(Src, Src + (RP.IntHigh - FirstStackedReg),
+              Regs.data() + FirstStackedReg);
+    Src += RP.IntHigh - FirstStackedReg;
+    std::copy(Src, Src + (RP.FpHigh - (FpRegBase + FirstStackedReg)),
+              Regs.data() + FpRegBase + FirstStackedReg);
+    SaveArea.resize(RP.SavedBase);
+    // The return makes every stacked register architecturally current
+    // again (Ready := this cycle) — recorded lazily, see readyOf().
+    ++RetSeq;
+    LastRetCycle = Cycle;
     CurF = RP.F;
     CurBlock = RP.Block;
     CurIndex = RP.Index;
@@ -432,19 +531,35 @@ SimResult Machine::run() {
   Regs[RegFP] = interp::layout::StackBase;
   CurF = Main;
   rseCall(Main->StackedRegsUsed);
+  CallStack.reserve(512);
+  SaveArea.reserve(512 * 2 * NumStackedRegs / 8);
 
   while (!Finished && !Trapped) {
-    if (Counters.Instructions >= Config.MaxInstructions) {
-      trap("instruction budget exhausted");
-      break;
-    }
     if (CurBlock >= CurF->numBlocks() ||
         CurIndex >= CurF->block(CurBlock).Instrs.size()) {
       trap(formatString("fell off block b%u of %s", CurBlock,
                         CurF->getName().c_str()));
       break;
     }
-    execute(CurF->block(CurBlock).Instrs[CurIndex]);
+    // Run straight-line code without refetching the block per
+    // instruction; execute() bumps CurIndex for fall-through ops and
+    // rewrites CurF/CurBlock/CurIndex on control transfers, which drops
+    // us back to the outer loop. The instruction budget stays checked
+    // per instruction — the trap point is program-visible.
+    const MBlock &B = CurF->block(CurBlock);
+    const MInstr *Code = B.Instrs.data();
+    const size_t N = B.Instrs.size();
+    const MFunction *F0 = CurF;
+    const unsigned B0 = CurBlock;
+    while (CurIndex < N && !Finished && !Trapped) {
+      if (Counters.Instructions >= MaxInstrs) {
+        trap("instruction budget exhausted");
+        break;
+      }
+      execute(Code[CurIndex]);
+      if (CurF != F0 || CurBlock != B0)
+        break;
+    }
   }
 
   Result.Output = std::move(Output);

@@ -97,37 +97,6 @@ const char *srp::codegen::mopName(MOp Op) {
   SRP_UNREACHABLE("invalid MOp");
 }
 
-void MInstr::sources(unsigned Out[3], unsigned &Count) const {
-  Count = 0;
-  auto Push = [&](unsigned Reg) {
-    if (Reg != NoReg)
-      Out[Count++] = Reg;
-  };
-  switch (Op) {
-  case MOp::MovI:
-  case MOp::Br:
-  case MOp::Ret:
-  case MOp::Nop:
-  case MOp::Call:
-    break;
-  case MOp::St:
-  case MOp::StA:
-    Push(Rs1);
-    Push(Rs3);
-    break;
-  case MOp::Sel:
-    Push(Rs1);
-    Push(Rs2);
-    Push(Rs3);
-    break;
-  default:
-    Push(Rs1);
-    if (!HasImm)
-      Push(Rs2);
-    break;
-  }
-}
-
 static std::string regName(unsigned Reg) {
   if (Reg == NoReg)
     return "-";
@@ -216,9 +185,9 @@ std::string srp::codegen::minstrToString(const MInstr &I) {
 }
 
 MFunction *MModule::findFunction(std::string_view Name) {
-  for (auto &F : Functions)
+  for (MFunction *F : Functions)
     if (F->getName() == Name)
-      return F.get();
+      return F;
   return nullptr;
 }
 

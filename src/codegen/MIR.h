@@ -151,7 +151,38 @@ struct MInstr {
   MFunction *Callee = nullptr;
 
   /// Registers this instruction reads, in a small inline buffer.
-  void sources(unsigned Out[3], unsigned &Count) const;
+  /// Inline (header-defined): the simulator calls this once per
+  /// simulated instruction.
+  void sources(unsigned Out[3], unsigned &Count) const {
+    Count = 0;
+    auto Push = [&](unsigned Reg) {
+      if (Reg != NoReg)
+        Out[Count++] = Reg;
+    };
+    switch (Op) {
+    case MOp::MovI:
+    case MOp::Br:
+    case MOp::Ret:
+    case MOp::Nop:
+    case MOp::Call:
+      break;
+    case MOp::St:
+    case MOp::StA:
+      Push(Rs1);
+      Push(Rs3);
+      break;
+    case MOp::Sel:
+      Push(Rs1);
+      Push(Rs2);
+      Push(Rs3);
+      break;
+    default:
+      Push(Rs1);
+      if (!HasImm)
+        Push(Rs2);
+      break;
+    }
+  }
   bool definesReg() const { return Rd != NoReg; }
 };
 
@@ -212,6 +243,13 @@ public:
   unsigned StackedRegsUsed = 0;
   /// Number of FP registers used (no RSE, but reported).
   unsigned FpRegsUsed = 0;
+  /// One past the highest register id this function's code writes, split
+  /// by file (stacked r32.. / float f32..). The simulator saves and
+  /// restores only these windows around calls; the defaults cover the
+  /// whole files so hand-built MIR that bypasses the register allocator
+  /// (micro benches, tests) stays correct. RegAlloc tightens them.
+  unsigned StackedRegHigh = FirstStackedReg + NumStackedRegs;
+  unsigned FpRegHigh = FpRegBase + 128;
 
 private:
   std::string Name;
@@ -229,15 +267,15 @@ public:
   MModule &operator=(const MModule &) = delete;
 
   MFunction *createFunction(std::string Name) {
-    Functions.push_back(std::make_unique<MFunction>(std::move(Name)));
-    return Functions.back().get();
+    Functions.push_back(MirArena.create<MFunction>(std::move(Name)));
+    return Functions.back();
   }
 
   unsigned numFunctions() const {
     return static_cast<unsigned>(Functions.size());
   }
-  MFunction *function(unsigned I) { return Functions[I].get(); }
-  const MFunction *function(unsigned I) const { return Functions[I].get(); }
+  MFunction *function(unsigned I) { return Functions[I]; }
+  const MFunction *function(unsigned I) const { return Functions[I]; }
 
   MFunction *findFunction(std::string_view Name);
   const MFunction *findFunction(std::string_view Name) const {
@@ -247,8 +285,13 @@ public:
   /// Global symbol addresses (same layout as the interpreter's).
   std::map<const ir::Symbol *, uint64_t> GlobalAddr;
 
+  Arena &arena() { return MirArena; }
+
 private:
-  std::vector<std::unique_ptr<MFunction>> Functions;
+  /// Declared before Functions so teardown runs the MFunction
+  /// destructors (queued in the arena) before the pointer list dies.
+  Arena MirArena;
+  std::vector<MFunction *> Functions; ///< Objects live in MirArena.
 };
 
 /// Prints \p M as assembly-style text.

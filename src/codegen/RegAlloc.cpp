@@ -258,6 +258,13 @@ private:
     }
     F.StackedRegsUsed = static_cast<unsigned>(UsedInt.size());
     F.FpRegsUsed = static_cast<unsigned>(UsedFp.size());
+    // The rewritten code writes no stacked register above the highest
+    // assignment (fixed scratch/return regs sit below the stacked
+    // range), so the simulator only saves up to these around calls.
+    F.StackedRegHigh =
+        UsedInt.empty() ? FirstStackedReg : *UsedInt.rbegin() + 1;
+    F.FpRegHigh =
+        UsedFp.empty() ? FpRegBase + FirstStackedReg : *UsedFp.rbegin() + 1;
   }
 
   void rewrite() {

@@ -2,6 +2,8 @@
 
 #include "core/Experiment.h"
 
+#include "core/ProfileCache.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -41,9 +43,13 @@ std::vector<PipelineResult>
 srp::core::runExperiments(const std::vector<Experiment> &Exps,
                           const ExperimentOptions &Opts) {
   std::vector<PipelineResult> Results(Exps.size());
-  parallelFor(Opts.Threads, Exps.size(), [&Exps, &Results, &Opts](size_t I) {
+  // One profile cache for the whole grid: every config of a workload
+  // shares the memoized train run (deterministic at any thread count,
+  // see ProfileCache.h).
+  ProfileCache PC;
+  parallelFor(Opts.Threads, Exps.size(), [&Exps, &Results, &Opts, &PC](size_t I) {
     const Experiment &E = Exps[I];
-    PipelineResult R = runPipeline(*E.W, E.Config);
+    PipelineResult R = runPipeline(*E.W, E.Config, &PC);
     if (Opts.CheckOracle && R.Ok &&
         R.Output != oracleOutput(*E.W, E.Config.InterpFuel)) {
       R.Ok = false;

@@ -35,6 +35,7 @@
 #define SRP_CORE_PASS_H
 
 #include "core/Pipeline.h"
+#include "core/ProfileCache.h"
 
 #include "alias/AliasAnalysis.h"
 #include "codegen/MIR.h"
@@ -56,6 +57,10 @@ struct PipelineState {
   const Workload *W = nullptr;
   ir::Module *External = nullptr;
   PipelineConfig Config;
+  /// Optional, workload mode: memoized train-run profiles shared across
+  /// the pipelines of one experiment grid (see ProfileCache.h). Null
+  /// runs the train interpretation unconditionally.
+  ProfileCache *ProfCache = nullptr;
 
   // Intermediate products, owned here. In workload mode RefModule is the
   // module being compiled; module mode transforms *External in place.
@@ -90,8 +95,10 @@ public:
   /// One-line description for the `srp-run passes` listing.
   virtual std::string_view description() const = 0;
 
-  /// Whether the pass transforms IR (the manager drops cached analyses
-  /// after it runs; analysis/reporting passes leave the cache intact).
+  /// Whether the pass transforms IR. Mutating passes own precise cache
+  /// maintenance: they must call S.Analyses.invalidate(F) for every
+  /// function they change (the manager no longer flushes the cache on
+  /// this boundary — sibling functions stay cached).
   virtual bool mutatesIR() const { return false; }
 
   /// Runs the pass. On failure returns false with

@@ -40,8 +40,9 @@ bool PassManager::run(PipelineState &S, const PassCallback &AfterPass) {
     S.Result.Timings.push_back({std::string(P->name()), Micros});
     StatsRegistry::get().add("pass." + std::string(P->name()) + ".us",
                              Micros);
-    if (P->mutatesIR())
-      S.Analyses.clear();
+    // No pipeline-wide cache flush here: mutating passes invalidate
+    // exactly the functions they changed (see AnalysisCache.h), so
+    // sibling functions stay cached across the promote boundary.
     if (!Ok) {
       if (S.Result.Error.empty())
         S.Result.Error = "pass '" + std::string(P->name()) + "' failed";
@@ -50,6 +51,7 @@ bool PassManager::run(PipelineState &S, const PassCallback &AfterPass) {
     if (AfterPass)
       AfterPass(*P, S);
   }
+  S.Analyses.publishStats();
   S.Result.Ok = true;
   return true;
 }

@@ -104,49 +104,84 @@ public:
       S.HasProfile = true;
       return true;
     }
-    interp::AliasProfile TrainAP;
-    interp::EdgeProfile TrainEP;
-    {
-      interp::Interpreter Interp(S.TrainModule);
-      Interp.setAliasProfile(&TrainAP);
-      Interp.setEdgeProfile(&TrainEP);
-      interp::RunResult R = Interp.run(S.Config.InterpFuel);
-      if (!R.Ok) {
-        S.Result.Error = "train run failed: " + R.Error;
-        return false;
-      }
+    // The train run depends only on (workload, train scale, fuel) — the
+    // promotion config has not entered the pipeline yet — so the grid's
+    // configs of one workload share a memoized id-space snapshot of it
+    // (ProfileCache.h) when the driver provides a cache.
+    std::shared_ptr<const ProfileSnapshot> Snap;
+    std::string Key;
+    if (S.ProfCache) {
+      Key = std::string(S.W->Name) + "#" + std::to_string(S.W->TrainScale) +
+            "#" + std::to_string(S.Config.InterpFuel);
+      Snap = S.ProfCache->lookup(Key);
     }
-    // Remap profile keys from the train module's functions to the ref
-    // module's (same index, same statement ids).
-    for (unsigned FI = 0; FI < S.TrainModule.numFunctions(); ++FI) {
-      const ir::Function *TrainF = S.TrainModule.function(FI);
-      const ir::Function *RefF = S.RefModule.function(FI);
-      if (TrainF->numBlocks() != RefF->numBlocks()) {
-        S.Result.Error = "workload changes CFG shape across scales";
-        return false;
+    if (!Snap) {
+      interp::AliasProfile TrainAP;
+      interp::EdgeProfile TrainEP;
+      {
+        interp::Interpreter Interp(S.TrainModule);
+        Interp.setAliasProfile(&TrainAP);
+        Interp.setEdgeProfile(&TrainEP);
+        interp::RunResult R = Interp.run(S.Config.InterpFuel);
+        if (!R.Ok) {
+          S.Result.Error = "train run failed: " + R.Error;
+          return false;
+        }
       }
-      for (unsigned BI = 0; BI < TrainF->numBlocks(); ++BI) {
-        const ir::BasicBlock *TB = TrainF->block(BI);
-        const ir::BasicBlock *RB = RefF->block(BI);
-        // Edge profile remap (successors match by position).
-        S.EdgeProf.addBlockCount(RB, TrainEP.blockCount(TB));
-        for (size_t SI = 0; SI < TB->succs().size(); ++SI)
-          S.EdgeProf.addEdgeCount(RB, RB->succs()[SI],
-                                  TrainEP.edgeCount(TB, TB->succs()[SI]));
-        // Alias profile remap (statement ids are stable).
-        for (size_t SI = 0; SI < TB->size() && SI < RB->size(); ++SI) {
-          const ir::Stmt *TS = TB->stmt(SI);
-          const ir::Stmt *RS = RB->stmt(SI);
-          for (unsigned Level = 1; Level <= TS->Ref.Depth; ++Level) {
-            const std::set<unsigned> *Targets =
-                TrainAP.targets(TrainF, TS->Id, Level);
-            if (!Targets)
-              continue;
-            for (unsigned Sym : *Targets)
-              S.AliasProf.recordTarget(RefF, RS->Id, Level, Sym);
+      auto NewSnap = std::make_shared<ProfileSnapshot>();
+      for (unsigned FI = 0; FI < S.TrainModule.numFunctions(); ++FI) {
+        const ir::Function *TrainF = S.TrainModule.function(FI);
+        NewSnap->FuncNumBlocks.push_back(TrainF->numBlocks());
+        for (unsigned BI = 0; BI < TrainF->numBlocks(); ++BI) {
+          const ir::BasicBlock *TB = TrainF->block(BI);
+          ProfileSnapshot::BlockEntry BE{FI, BI, TrainEP.blockCount(TB), {}};
+          for (size_t SI = 0; SI < TB->succs().size(); ++SI)
+            BE.SuccCounts.push_back(TrainEP.edgeCount(TB, TB->succs()[SI]));
+          NewSnap->Blocks.push_back(std::move(BE));
+          for (size_t SI = 0; SI < TB->size(); ++SI) {
+            const ir::Stmt *TS = TB->stmt(SI);
+            for (unsigned Level = 1; Level <= TS->Ref.Depth; ++Level) {
+              const std::set<unsigned> *Targets =
+                  TrainAP.targets(TrainF, TS->Id, Level);
+              if (!Targets)
+                continue;
+              NewSnap->Alias.push_back(
+                  {FI, BI, static_cast<unsigned>(SI), Level,
+                   std::vector<unsigned>(Targets->begin(), Targets->end())});
+            }
           }
         }
       }
+      if (S.ProfCache)
+        Snap = S.ProfCache->insert(Key, std::move(NewSnap));
+      else
+        Snap = std::move(NewSnap);
+    }
+    // Rebind the snapshot onto the ref module (same function index, same
+    // block index, same statement position — exactly what the previous
+    // pointer-space remap transferred).
+    for (unsigned FI = 0; FI < S.RefModule.numFunctions(); ++FI)
+      if (FI >= Snap->FuncNumBlocks.size() ||
+          Snap->FuncNumBlocks[FI] != S.RefModule.function(FI)->numBlocks()) {
+        S.Result.Error = "workload changes CFG shape across scales";
+        return false;
+      }
+    for (const ProfileSnapshot::BlockEntry &BE : Snap->Blocks) {
+      const ir::Function *RefF = S.RefModule.function(BE.FuncIdx);
+      const ir::BasicBlock *RB = RefF->block(BE.BlockIdx);
+      S.EdgeProf.addBlockCount(RB, BE.Count);
+      for (size_t SI = 0;
+           SI < BE.SuccCounts.size() && SI < RB->succs().size(); ++SI)
+        S.EdgeProf.addEdgeCount(RB, RB->succs()[SI], BE.SuccCounts[SI]);
+    }
+    for (const ProfileSnapshot::AliasEntry &AE : Snap->Alias) {
+      const ir::Function *RefF = S.RefModule.function(AE.FuncIdx);
+      const ir::BasicBlock *RB = RefF->block(AE.BlockIdx);
+      if (AE.StmtPos >= RB->size())
+        continue;
+      unsigned StmtId = RB->stmt(AE.StmtPos)->Id;
+      for (unsigned Sym : AE.Symbols)
+        S.AliasProf.recordTarget(RefF, StmtId, AE.Level, Sym);
     }
     S.HasProfile = true;
     return true;

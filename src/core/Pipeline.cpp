@@ -58,10 +58,12 @@ std::vector<std::string> srp::core::oracleOutput(const Workload &W,
 }
 
 PipelineResult srp::core::runPipeline(const Workload &W,
-                                      const PipelineConfig &Config) {
+                                      const PipelineConfig &Config,
+                                      ProfileCache *PC) {
   PipelineState S;
   S.W = &W;
   S.Config = Config;
+  S.ProfCache = PC;
   PassManager PM;
   addStandardPasses(PM);
   PM.run(S);

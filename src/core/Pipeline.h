@@ -101,9 +101,14 @@ struct PipelineResult {
   std::vector<PassTiming> Timings;
 };
 
+class ProfileCache; // ProfileCache.h
+
 /// Compiles \p W with \p Config and simulates the ref input. The module
-/// is rebuilt from scratch for both the train and ref phases.
-PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config);
+/// is rebuilt from scratch for both the train and ref phases. \p PC, if
+/// given, memoizes the train-run profile across pipelines of the same
+/// workload (ProfileCache.h).
+PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config,
+                           ProfileCache *PC = nullptr);
 
 /// Runs the interpreter directly on the ref build (the oracle).
 std::vector<std::string> oracleOutput(const Workload &W, uint64_t Fuel =

@@ -1,0 +1,93 @@
+//===- ProfileCache.h - Shared train-profile snapshots ----------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment grid crosses workloads with promotion configs, and the
+/// train run (interpret the train-scale build, collect alias and edge
+/// profiles) depends only on the workload — every config of a workload
+/// interprets the identical program and collects the identical profile.
+/// ProfileCache memoizes that run as an id-space snapshot (function
+/// index, block index, statement position), which a later pipeline
+/// rebinds onto its own ref module's pointers in one cheap sweep.
+///
+/// Determinism: a snapshot's content is a pure function of the cache key
+/// (workload, train scale, interpreter fuel), so which worker computes
+/// it — or whether two compute it racing and one insert wins — cannot
+/// change any pipeline's result. core::runExperiments stays byte-
+/// identical at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_CORE_PROFILECACHE_H
+#define SRP_CORE_PROFILECACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace srp::core {
+
+/// One workload's train-run profiles with every module pointer replaced
+/// by its positional id, exactly mirroring what ProfilePass's remap
+/// transfers (same function index, same block index, same statement
+/// position).
+struct ProfileSnapshot {
+  /// Observed alias targets of one (statement, dereference level) site.
+  struct AliasEntry {
+    unsigned FuncIdx;
+    unsigned BlockIdx;
+    unsigned StmtPos;
+    unsigned Level;
+    std::vector<unsigned> Symbols; ///< sorted (harvested from a std::set)
+  };
+  /// One block's execution count and per-successor edge counts.
+  struct BlockEntry {
+    unsigned FuncIdx;
+    unsigned BlockIdx;
+    uint64_t Count;
+    std::vector<uint64_t> SuccCounts; ///< by successor position
+  };
+
+  /// Block count per function at snapshot time; the rebind re-checks the
+  /// ref module against these so the "workload changes CFG shape across
+  /// scales" diagnostic still fires.
+  std::vector<unsigned> FuncNumBlocks;
+  std::vector<BlockEntry> Blocks;
+  std::vector<AliasEntry> Alias;
+};
+
+/// Keyed snapshot store shared by all pipelines of one experiment run.
+class ProfileCache {
+public:
+  std::shared_ptr<const ProfileSnapshot>
+  lookup(const std::string &Key) const {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  /// First insert for a key wins; returns the snapshot that is in the
+  /// cache after the call (losing duplicates are discarded — they are
+  /// byte-identical by construction).
+  std::shared_ptr<const ProfileSnapshot>
+  insert(const std::string &Key, std::shared_ptr<const ProfileSnapshot> S) {
+    std::lock_guard<std::mutex> L(M);
+    auto [It, Inserted] = Map.emplace(Key, std::move(S));
+    (void)Inserted;
+    return It->second;
+  }
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<const ProfileSnapshot>> Map;
+};
+
+} // namespace srp::core
+
+#endif // SRP_CORE_PROFILECACHE_H

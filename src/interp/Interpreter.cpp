@@ -4,6 +4,7 @@
 
 #include "interp/AlatObserver.h"
 #include "support/Error.h"
+#include "support/PagedMemory.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -171,7 +172,7 @@ private:
   /// advanced load's chain-pointer ALAT entry covers.
   uint64_t LastChainSlot = 0;
 
-  std::unordered_map<uint64_t, uint64_t> Memory; ///< Keyed by Addr >> 3.
+  PagedMemory Memory; ///< Keyed by Addr >> 3.
   std::map<uint64_t, ObjectInfo> Objects;        ///< Keyed by start address.
   /// Taint mode: shadow of every written/initialized cell (same key).
   std::unordered_map<uint64_t, Shadow> MemTaint;
@@ -235,8 +236,7 @@ uint64_t Execution::read64(uint64_t Addr) {
                       static_cast<unsigned long long>(Addr)));
     return 0;
   }
-  auto It = Memory.find(Addr >> 3);
-  return It == Memory.end() ? 0 : It->second;
+  return Memory.load(Addr >> 3);
 }
 
 void Execution::write64(uint64_t Addr, uint64_t Bits) {
@@ -245,7 +245,7 @@ void Execution::write64(uint64_t Addr, uint64_t Bits) {
                       static_cast<unsigned long long>(Addr)));
     return;
   }
-  Memory[Addr >> 3] = Bits;
+  Memory.store(Addr >> 3, Bits);
 }
 
 unsigned Execution::symbolAt(uint64_t Addr) const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <utility>
 
 namespace srp::interp {
 
@@ -36,10 +37,19 @@ public:
   static constexpr unsigned UnknownTarget = ~0u;
 
   /// Records one observed target at \p Level (1-based) of the access at
-  /// statement \p StmtId in \p F.
+  /// statement \p StmtId in \p F. Hot interpreter loops record the same
+  /// (site, symbol) observation millions of times in a row, so the last
+  /// observation short-circuits the map-and-set insert; the cache holds
+  /// no pointers and only ever skips work already done, so it stays
+  /// correct under copy and move.
   void recordTarget(const ir::Function *F, unsigned StmtId, unsigned Level,
                     unsigned SymbolId) {
+    if (F == LastKey.F && StmtId == LastKey.StmtId &&
+        Level == LastKey.Level && SymbolId == LastSym)
+      return;
     Targets[SiteKey{F, StmtId, Level}].insert(SymbolId);
+    LastKey = SiteKey{F, StmtId, Level};
+    LastSym = SymbolId;
   }
 
   /// True if the site executed at least once (any level).
@@ -86,15 +96,56 @@ private:
   };
 
   std::map<SiteKey, std::set<unsigned>> Targets;
+  /// Last recorded observation (see recordTarget).
+  SiteKey LastKey{nullptr, 0, 0};
+  unsigned LastSym = 0;
 };
 
 /// Block and edge execution counts.
+///
+/// The two count methods run once per interpreted block and branch, and
+/// repeated executions of a loop hit the same key every time, so each
+/// keeps a one-entry cache of the last counter. The cached pointers
+/// target map nodes (stable under insert), but must not survive into a
+/// copy or out of a move — the special members below reset them.
 class EdgeProfile {
 public:
-  void countBlock(const ir::BasicBlock *BB) { ++BlockCounts[BB]; }
+  EdgeProfile() = default;
+  EdgeProfile(const EdgeProfile &O)
+      : BlockCounts(O.BlockCounts), EdgeCounts(O.EdgeCounts) {}
+  EdgeProfile(EdgeProfile &&O)
+      : BlockCounts(std::move(O.BlockCounts)),
+        EdgeCounts(std::move(O.EdgeCounts)) {
+    O.resetCache();
+  }
+  EdgeProfile &operator=(const EdgeProfile &O) {
+    BlockCounts = O.BlockCounts;
+    EdgeCounts = O.EdgeCounts;
+    resetCache();
+    return *this;
+  }
+  EdgeProfile &operator=(EdgeProfile &&O) {
+    BlockCounts = std::move(O.BlockCounts);
+    EdgeCounts = std::move(O.EdgeCounts);
+    resetCache();
+    O.resetCache();
+    return *this;
+  }
+
+  void countBlock(const ir::BasicBlock *BB) {
+    if (BB != LastBlock) {
+      LastBlock = BB;
+      LastBlockCount = &BlockCounts[BB];
+    }
+    ++*LastBlockCount;
+  }
 
   void countEdge(const ir::BasicBlock *From, const ir::BasicBlock *To) {
-    ++EdgeCounts[{From, To}];
+    if (From != LastEdge.first || To != LastEdge.second) {
+      LastEdge = {From, To};
+      LastEdgeCount = &EdgeCounts[LastEdge];
+    }
+    ++*LastEdgeCount;
   }
 
   /// Bulk accumulation (profile remapping across module rebuilds).
@@ -120,10 +171,22 @@ public:
   bool empty() const { return BlockCounts.empty(); }
 
 private:
+  void resetCache() {
+    LastBlock = nullptr;
+    LastBlockCount = nullptr;
+    LastEdge = {nullptr, nullptr};
+    LastEdgeCount = nullptr;
+  }
+
   std::map<const ir::BasicBlock *, uint64_t> BlockCounts;
   std::map<std::pair<const ir::BasicBlock *, const ir::BasicBlock *>,
            uint64_t>
       EdgeCounts;
+  const ir::BasicBlock *LastBlock = nullptr;
+  uint64_t *LastBlockCount = nullptr;
+  std::pair<const ir::BasicBlock *, const ir::BasicBlock *> LastEdge{nullptr,
+                                                                     nullptr};
+  uint64_t *LastEdgeCount = nullptr;
 };
 
 } // namespace srp::interp

@@ -37,16 +37,17 @@ const char *srp::ir::stmtKindName(StmtKind Kind) {
 
 Stmt *BasicBlock::append(Stmt S) {
   S.Id = Parent->nextStmtId();
-  Stmts.push_back(std::make_unique<Stmt>(std::move(S)));
-  return Stmts.back().get();
+  Stmts.push_back(
+      Parent->getParent()->arena().create<Stmt>(std::move(S)));
+  return Stmts.back();
 }
 
 Stmt *BasicBlock::insertBefore(size_t Pos, Stmt S) {
   assert(Pos <= Stmts.size() && "insert position out of range");
   S.Id = Parent->nextStmtId();
-  auto It = Stmts.insert(Stmts.begin() + static_cast<ptrdiff_t>(Pos),
-                         std::make_unique<Stmt>(std::move(S)));
-  return It->get();
+  Stmt *P = Parent->getParent()->arena().create<Stmt>(std::move(S));
+  Stmts.insert(Stmts.begin() + static_cast<ptrdiff_t>(Pos), P);
+  return P;
 }
 
 void BasicBlock::erase(size_t Pos) {
@@ -56,7 +57,7 @@ void BasicBlock::erase(size_t Pos) {
 
 size_t BasicBlock::positionOf(const Stmt *S) const {
   for (size_t I = 0, E = Stmts.size(); I != E; ++I)
-    if (Stmts[I].get() == S)
+    if (Stmts[I] == S)
       return I;
   SRP_UNREACHABLE("statement not in block");
 }
@@ -67,8 +68,9 @@ size_t BasicBlock::positionOf(const Stmt *S) const {
 
 BasicBlock *Function::createBlock(std::string Name) {
   unsigned Id = static_cast<unsigned>(Blocks.size());
-  Blocks.push_back(std::make_unique<BasicBlock>(Id, std::move(Name), this));
-  return Blocks.back().get();
+  Blocks.push_back(
+      Parent->arena().create<BasicBlock>(Id, std::move(Name), this));
+  return Blocks.back();
 }
 
 unsigned Function::createTemp(TypeKind Type) {
@@ -77,11 +79,11 @@ unsigned Function::createTemp(TypeKind Type) {
 }
 
 void Function::recomputeCFG() {
-  for (auto &BB : Blocks) {
+  for (BasicBlock *BB : Blocks) {
     BB->Preds.clear();
     BB->Succs.clear();
   }
-  for (auto &BB : Blocks) {
+  for (BasicBlock *BB : Blocks) {
     Terminator &T = BB->Term;
     switch (T.Kind) {
     case TermKind::Br:
@@ -98,7 +100,7 @@ void Function::recomputeCFG() {
       break;
     }
     for (BasicBlock *Succ : BB->Succs)
-      Succ->Preds.push_back(BB.get());
+      Succ->Preds.push_back(BB);
   }
 }
 
@@ -153,15 +155,23 @@ Symbol *Module::createHeapSite(std::string Name, TypeKind ElemType) {
 }
 
 Function *Module::createFunction(std::string Name) {
-  Functions.push_back(std::make_unique<Function>(std::move(Name), this));
-  return Functions.back().get();
+  Functions.push_back(IRArena.create<Function>(std::move(Name), this));
+  return Functions.back();
 }
 
 Function *Module::findFunction(std::string_view Name) {
-  for (auto &F : Functions)
+  for (Function *F : Functions)
     if (F->getName() == Name)
-      return F.get();
+      return F;
   return nullptr;
+}
+
+void Module::reset() {
+  Functions.clear();
+  Globals.clear();
+  HeapSites.clear();
+  Symbols.clear();
+  IRArena.reset();
 }
 
 const char *srp::ir::symbolKindName(SymbolKind Kind) {

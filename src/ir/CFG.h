@@ -16,8 +16,9 @@
 
 #include "ir/Stmt.h"
 
+#include "support/Arena.h"
+
 #include <deque>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,8 +52,8 @@ public:
   size_t positionOf(const Stmt *S) const;
 
   size_t size() const { return Stmts.size(); }
-  Stmt *stmt(size_t I) { return Stmts[I].get(); }
-  const Stmt *stmt(size_t I) const { return Stmts[I].get(); }
+  Stmt *stmt(size_t I) { return Stmts[I]; }
+  const Stmt *stmt(size_t I) const { return Stmts[I]; }
 
   Terminator &term() { return Term; }
   const Terminator &term() const { return Term; }
@@ -67,7 +68,9 @@ private:
   unsigned Id;
   std::string Name;
   Function *Parent;
-  std::vector<std::unique_ptr<Stmt>> Stmts;
+  /// Statement order; the Stmt objects live in the module's arena.
+  /// erase() only unlinks — the object is reclaimed at arena teardown.
+  std::vector<Stmt *> Stmts;
   Terminator Term;
   std::vector<BasicBlock *> Preds;
   std::vector<BasicBlock *> Succs;
@@ -87,10 +90,10 @@ public:
   BasicBlock *createBlock(std::string Name);
 
   unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
-  BasicBlock *block(unsigned I) { return Blocks[I].get(); }
-  const BasicBlock *block(unsigned I) const { return Blocks[I].get(); }
-  BasicBlock *entry() { return Blocks.front().get(); }
-  const BasicBlock *entry() const { return Blocks.front().get(); }
+  BasicBlock *block(unsigned I) { return Blocks[I]; }
+  const BasicBlock *block(unsigned I) const { return Blocks[I]; }
+  BasicBlock *entry() { return Blocks.front(); }
+  const BasicBlock *entry() const { return Blocks.front(); }
 
   /// Creates a fresh temp of \p Type and returns its id.
   unsigned createTemp(TypeKind Type);
@@ -124,7 +127,7 @@ public:
 private:
   std::string Name;
   Module *Parent;
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<BasicBlock *> Blocks; ///< Objects live in the module arena.
   std::vector<TypeKind> TempTypes;
   std::vector<Symbol *> Locals;
   std::vector<Symbol *> Formals;
@@ -138,6 +141,16 @@ public:
   Module() = default;
   Module(const Module &) = delete;
   Module &operator=(const Module &) = delete;
+
+  /// The allocator behind every Stmt, BasicBlock and Function of this
+  /// module; their addresses are stable until reset() or destruction.
+  Arena &arena() { return IRArena; }
+
+  /// Drops all IR and recycles the arena slabs, returning the module to
+  /// its freshly-constructed state. Lets a pipeline state be reused
+  /// across runs without paying slab allocation again; every pointer
+  /// into the module is dead afterwards.
+  void reset();
 
   /// Creates a global symbol.
   Symbol *createGlobal(std::string Name, TypeKind ElemType,
@@ -162,8 +175,8 @@ public:
   unsigned numFunctions() const {
     return static_cast<unsigned>(Functions.size());
   }
-  Function *function(unsigned I) { return Functions[I].get(); }
-  const Function *function(unsigned I) const { return Functions[I].get(); }
+  Function *function(unsigned I) { return Functions[I]; }
+  const Function *function(unsigned I) const { return Functions[I]; }
 
   const std::vector<Symbol *> &globals() const { return Globals; }
   const std::vector<Symbol *> &heapSites() const { return HeapSites; }
@@ -178,10 +191,13 @@ private:
   Symbol *allocateSymbol(std::string Name, SymbolKind Kind, TypeKind ElemType,
                          unsigned NumElems, Function *Parent);
 
+  /// Declared first so it is destroyed last: the arena teardown runs
+  /// Function/BasicBlock/Stmt destructors, which must not outlive it.
+  Arena IRArena;
   std::deque<Symbol> Symbols; ///< Stable storage for all symbols.
   std::vector<Symbol *> Globals;
   std::vector<Symbol *> HeapSites;
-  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<Function *> Functions; ///< Objects live in the arena.
 };
 
 } // namespace srp::ir

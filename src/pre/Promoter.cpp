@@ -98,10 +98,19 @@ PromotionStats srp::pre::promoteFunction(ir::Function &F,
                                          const interp::EdgeProfile *Edges,
                                          const PromotionConfig &Config,
                                          ssa::AnalysisCache *Cache) {
+  // Earlier mutating passes are contractually required to have
+  // invalidated F already (AnalysisCache.h), so a cached dominator tree
+  // here is still valid; recomputing the edge lists is idempotent.
   F.recomputeCFG();
-  if (Cache)
-    Cache->invalidate(F); // CFG recompute renumbers blocks.
   StageTimings Times;
+
+  auto PlanEmpty = [](const MutationPlan &P) {
+    return P.EdgeInserts.empty() && P.DefLoads.empty() &&
+           P.DefStores.empty() && P.Reuses.empty() &&
+           P.InvalaReuses.empty() && P.Checks.empty() &&
+           P.SoftwareChecks.empty() && P.Invalas.empty() &&
+           P.AddrMats.empty();
+  };
 
   // One promotion run with the given config, drawing dominators and loops
   // from the cache when the caller provides one.
@@ -121,11 +130,18 @@ PromotionStats srp::pre::promoteFunction(ir::Function &F,
     }
     PromotionContext Ctx(F, AA, Profile, Edges, Cfg, *DT, *LI);
     PromotionStats S = runPromotion(Ctx, &Times);
-    // Promotion mutated the function: copies, splits, checks.
-    if (Cache)
-      Cache->invalidate(F);
-    propagateCopies(F);
-    F.recomputeCFG();
+    // The run mutated F iff the plan applied anything or cleanup erased
+    // a check; copy propagation below may rewrite further. Invalidate
+    // only then — an empty run leaves the cached dominators and loops
+    // live for the second (conservative) run and the verifier passes.
+    bool Mutated = !PlanEmpty(Ctx.Plan) || S.ChecksRemovedByCleanup != 0;
+    CopyPropStats CP = propagateCopies(F);
+    Mutated |= CP.UsesRewritten != 0 || CP.AssignsRemoved != 0;
+    if (Mutated) {
+      if (Cache)
+        Cache->invalidate(F);
+      F.recomputeCFG();
+    }
     return S;
   };
 

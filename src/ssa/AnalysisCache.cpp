@@ -2,6 +2,8 @@
 
 #include "ssa/AnalysisCache.h"
 
+#include "support/Stats.h"
+
 using namespace srp;
 using namespace srp::ssa;
 
@@ -29,11 +31,45 @@ LoopInfo &AnalysisCache::loops(ir::Function &F) {
 }
 
 void AnalysisCache::invalidate(ir::Function &F) {
+  ++Gens[&F];
   auto It = Entries.find(&F);
   if (It == Entries.end())
     return;
   ++Stats.Invalidations;
+  ++InvalByName[F.getName()];
   Entries.erase(It);
 }
 
-void AnalysisCache::clear() { Entries.clear(); }
+void AnalysisCache::invalidateAll() {
+  for (auto &[F, E] : Entries) {
+    ++Gens[F];
+    ++Stats.Invalidations;
+    ++InvalByName[F->getName()];
+  }
+  Entries.clear();
+}
+
+void AnalysisCache::clear() {
+  Entries.clear();
+  Gens.clear();
+}
+
+uint64_t AnalysisCache::generation(const ir::Function &F) const {
+  auto It = Gens.find(&F);
+  return It == Gens.end() ? 0 : It->second;
+}
+
+void AnalysisCache::publishStats() {
+  StatsRegistry &SR = StatsRegistry::get();
+  SR.add("analysis.cache.hits", Stats.Hits - Published.Hits);
+  SR.add("analysis.cache.misses", Stats.Misses - Published.Misses);
+  SR.add("analysis.cache.invalidations",
+         Stats.Invalidations - Published.Invalidations);
+  Published = Stats;
+  for (const auto &[Name, N] : InvalByName) {
+    uint64_t &Done = InvalPublished[Name];
+    if (N > Done)
+      SR.add("analysis.cache.invalidations." + Name, N - Done);
+    Done = N;
+  }
+}

@@ -29,6 +29,16 @@ namespace srp::ssa {
 
 /// Caches DominatorTree and LoopInfo per function. Not thread-safe by
 /// design (see file comment); each pipeline owns its own instance.
+///
+/// Invalidation protocol (DESIGN.md §7): passes that mutate a function
+/// call invalidate(F) for exactly the functions they changed — there is
+/// no whole-pipeline flush on the mutating-pass boundary any more, so a
+/// promoter that rewrites one function leaves every sibling's dominator
+/// tree and loop nest cached for the verifier and lint passes behind it.
+/// Each function carries a monotonic generation number, bumped by every
+/// invalidation; analyses handed out are valid for exactly the
+/// generation they were computed in, which gives consumers a cheap
+/// staleness token instead of re-requesting defensively.
 class AnalysisCache {
 public:
   /// Dominator tree of \p F, computed on first request. The reference is
@@ -38,12 +48,19 @@ public:
   /// Loop nest of \p F (computes the dominator tree if needed).
   LoopInfo &loops(ir::Function &F);
 
-  /// Drops cached analyses of \p F. Mutating passes must call this after
-  /// transforming the function (CFG recompute included).
+  /// Drops cached analyses of \p F and bumps its generation. Mutating
+  /// passes must call this for every function they transform.
   void invalidate(ir::Function &F);
 
-  /// Drops everything.
+  /// Invalidates every cached function (counts each one). For callers
+  /// that rewrite the whole module and cannot name the changed set.
+  void invalidateAll();
+
+  /// Drops everything silently (teardown/reuse; no invalidation counts).
   void clear();
+
+  /// Generation of \p F: 0 until first invalidated, +1 per invalidation.
+  uint64_t generation(const ir::Function &F) const;
 
   /// Cache effectiveness counters (observability, tested).
   struct CacheStats {
@@ -53,13 +70,30 @@ public:
   };
   const CacheStats &stats() const { return Stats; }
 
+  /// Invalidation counts per function name (aggregated; names outlive
+  /// the ir::Function objects, so this is safe to read after teardown).
+  const std::map<std::string, uint64_t> &invalidationsByFunction() const {
+    return InvalByName;
+  }
+
+  /// Adds the counters accumulated since the last call into the
+  /// process-wide StatsRegistry: `analysis.cache.{hits,misses,
+  /// invalidations}` plus `analysis.cache.invalidations.<function>`.
+  /// Called by the pass manager at end of pipeline; delta-based, so
+  /// repeated calls never double-count.
+  void publishStats();
+
 private:
   struct Entry {
     std::unique_ptr<DominatorTree> DT;
     std::unique_ptr<LoopInfo> LI;
   };
   std::map<const ir::Function *, Entry> Entries;
+  std::map<const ir::Function *, uint64_t> Gens;
+  std::map<std::string, uint64_t> InvalByName;
   CacheStats Stats;
+  CacheStats Published;                       ///< publishStats() watermark
+  std::map<std::string, uint64_t> InvalPublished;
 };
 
 } // namespace srp::ssa

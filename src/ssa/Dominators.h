@@ -16,6 +16,7 @@
 
 #include "ir/CFG.h"
 
+#include <memory>
 #include <vector>
 
 namespace srp::ssa {

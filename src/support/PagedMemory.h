@@ -1,0 +1,77 @@
+//===- PagedMemory.h - Sparse paged word store -------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse 64-bit word store backed by zero-initialized 64 KiB pages.
+/// Both execution engines (interp::Execution and the arch simulator)
+/// model a flat address space with three far-apart regions — globals,
+/// stack, heap — where unwritten words read as zero. A per-word hash map
+/// gives that semantics but costs a hash probe per access; this store
+/// gives the same semantics with a direct-mapped translation cache in
+/// front of the page table, so the regions' working pages each settle
+/// into their own cache slot and nearly every access is one mask and one
+/// index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_PAGEDMEMORY_H
+#define SRP_SUPPORT_PAGEDMEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace srp {
+
+/// Word-addressed sparse memory (callers shift byte addresses down by 3).
+/// Unwritten words read as zero.
+class PagedMemory {
+public:
+  uint64_t load(uint64_t Word) const {
+    uint64_t P = Word >> PageWordBits;
+    Slot &S = Cache[P & (NumSlots - 1)];
+    if (S.Page != P) {
+      auto It = Pages.find(P);
+      if (It == Pages.end())
+        return 0; // Absent pages stay uncached: a store must install one.
+      S.Page = P;
+      S.Data = It->second.get();
+    }
+    return S.Data[Word & (WordsPerPage - 1)];
+  }
+
+  void store(uint64_t Word, uint64_t Bits) {
+    uint64_t P = Word >> PageWordBits;
+    Slot &S = Cache[P & (NumSlots - 1)];
+    if (S.Page != P) {
+      std::unique_ptr<uint64_t[]> &Entry = Pages[P];
+      if (!Entry)
+        Entry = std::make_unique<uint64_t[]>(WordsPerPage); // zero-filled
+      S.Page = P;
+      S.Data = Entry.get();
+    }
+    S.Data[Word & (WordsPerPage - 1)] = Bits;
+  }
+
+private:
+  static constexpr unsigned PageWordBits = 13; ///< 8 Ki words = 64 KiB
+  static constexpr uint64_t WordsPerPage = 1ULL << PageWordBits;
+  static constexpr unsigned NumSlots = 64;
+
+  struct Slot {
+    /// Word addresses are at most 2^61 (byte addresses >> 3), so ~0
+    /// never collides with a real page index.
+    uint64_t Page = ~0ULL;
+    uint64_t *Data = nullptr;
+  };
+
+  mutable Slot Cache[NumSlots];
+  std::unordered_map<uint64_t, std::unique_ptr<uint64_t[]>> Pages;
+};
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_PAGEDMEMORY_H

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two srp-bench/1 reports (tools/srp-bench, srp-run --timing-json).
+
+    bench_diff.py BASELINE.json CURRENT.json [options]
+
+Two independent gates:
+
+  counters   The deterministic fingerprint (sim.* / promotion.*) must be
+             byte-identical: it is machine-independent, so any drift
+             means the pipeline's behaviour changed, not the weather.
+             Compared only when both reports ran the same grid shape
+             (smoke flag and workload/config lists); a scale mismatch
+             skips the gate with a warning rather than reporting
+             nonsense.
+
+  wall       wall_clock_us.{j1_p50,jn_p50} may not exceed baseline by
+             more than --max-regress (default 10%). Wall clock is only
+             meaningful between runs on the same machine — CI builds
+             the merge-base and the head on the same runner and diffs
+             those, rather than comparing against a baseline recorded
+             elsewhere.
+
+Exit status: 0 clean, 1 regression or fingerprint drift, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if report.get("schema") != "srp-bench/1":
+        sys.exit(f"bench_diff: {path}: not an srp-bench/1 report")
+    return report
+
+
+def same_grid(a, b):
+    return (
+        a.get("smoke") == b.get("smoke")
+        and a.get("grid", {}).get("workloads") == b.get("grid", {}).get("workloads")
+        and a.get("grid", {}).get("configs") == b.get("grid", {}).get("configs")
+    )
+
+
+def diff_counters(base, cur):
+    failures = []
+    bc, cc = base.get("counters", {}), cur.get("counters", {})
+    for key in sorted(set(bc) | set(cc)):
+        if bc.get(key) != cc.get(key):
+            failures.append(
+                f"  counter {key}: baseline {bc.get(key)} != current {cc.get(key)}"
+            )
+    return failures
+
+
+def diff_wall(base, cur, max_regress):
+    failures = []
+    bw, cw = base.get("wall_clock_us", {}), cur.get("wall_clock_us", {})
+    for key in ("j1_p50", "jn_p50"):
+        b, c = bw.get(key), cw.get(key)
+        if not b or c is None:
+            continue
+        ratio = c / b
+        marker = ""
+        if ratio > 1.0 + max_regress:
+            failures.append(
+                f"  wall {key}: {b} us -> {c} us "
+                f"({ratio:+.1%} vs +{max_regress:.0%} allowed)"
+            )
+            marker = "  <-- REGRESSION"
+        print(f"wall {key:8} {b:>10} us -> {c:>10} us  ({ratio - 1:+7.1%}){marker}")
+    return failures
+
+
+def print_pass_table(base, cur):
+    bp, cp = base.get("passes", {}), cur.get("passes", {})
+    names = [n for n in bp if n in cp]
+    if not names:
+        return
+    print(f"{'pass':12} {'base p50':>10} {'cur p50':>10} {'delta':>8}")
+    for name in names:
+        b, c = bp[name].get("p50_us", 0), cp[name].get("p50_us", 0)
+        delta = f"{(c / b - 1):+7.1%}" if b else "    n/a"
+        print(f"{name:12} {b:>10} {c:>10} {delta:>8}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two srp-bench/1 reports", add_help=True
+    )
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed wall-clock growth (default 0.10 = 10%%)",
+    )
+    ap.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip the wall-clock gate (cross-machine comparisons)",
+    )
+    ap.add_argument(
+        "--no-counters", action="store_true", help="skip the fingerprint gate"
+    )
+    args = ap.parse_args()
+
+    base, cur = load(args.baseline), load(args.current)
+    print(
+        f"baseline: {args.baseline} (label={base.get('label')!r}, "
+        f"smoke={base.get('smoke')}, repeat={base.get('repeat')})"
+    )
+    print(
+        f"current:  {args.current} (label={cur.get('label')!r}, "
+        f"smoke={cur.get('smoke')}, repeat={cur.get('repeat')})"
+    )
+
+    failures = []
+    if not args.no_counters:
+        if same_grid(base, cur):
+            drift = diff_counters(base, cur)
+            if drift:
+                print("counter fingerprint DRIFTED:")
+                for line in drift:
+                    print(line)
+                failures += drift
+            else:
+                print("counter fingerprint: identical")
+        else:
+            print(
+                "warning: grids differ (smoke/workloads/configs); "
+                "skipping the counter gate",
+                file=sys.stderr,
+            )
+
+    if not args.no_wall:
+        failures += diff_wall(base, cur, args.max_regress)
+        print_pass_table(base, cur)
+
+    if failures:
+        print(f"bench_diff: FAIL ({len(failures)} gate violation(s))")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@
 //     --no-profile       collect but don't feed back the alias profile
 //     --disable-pass=N   skip the pass named N (repeatable; see passes)
 //     --timing           per-pass wall-time breakdown (stderr)
+//     --timing-json=F    write the breakdown as JSON to F (the
+//                        srp-bench/1 report schema with a 1-pipeline
+//                        grid, so bench_diff.py can compare runs)
 //     --stats            dump the statistics registry (stderr)
 //     --print-ir         print the promoted IR
 //     --print-asm        print the ITA assembly
@@ -58,9 +61,11 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pre/Promoter.h"
+#include "support/JSON.h"
 #include "support/OStream.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -82,6 +87,8 @@ struct Options {
   bool PrintAsm = false;
   bool Timing = false;
   bool Stats = false;
+  std::string TimingJsonPath;
+  std::string StrategyName = "alat";
   std::vector<std::string> DisabledPasses;
   arch::SimConfig Sim;
   // Lint-mode (srp-run lint ...) options.
@@ -130,12 +137,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
     }
-    else if (Arg == "--strategy=conservative")
+    else if (Arg == "--strategy=conservative") {
       Opts.Promotion = pre::PromotionConfig::conservative();
-    else if (Arg == "--strategy=baseline")
+      Opts.StrategyName = "conservative";
+    } else if (Arg == "--strategy=baseline") {
       Opts.Promotion = pre::PromotionConfig::baselineO3();
-    else if (Arg == "--strategy=alat")
+      Opts.StrategyName = "baseline";
+    } else if (Arg == "--strategy=alat") {
       Opts.Promotion = pre::PromotionConfig::alat();
+      Opts.StrategyName = "alat";
+    }
     else if (Arg == "--cascade")
       Opts.Promotion.EnableCascade = true;
     else if (Arg == "--sta") {
@@ -149,6 +160,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.PrintAsm = true;
     else if (Arg == "--timing")
       Opts.Timing = true;
+    else if (startsWith(Arg, "--timing-json=")) {
+      Opts.TimingJsonPath = Arg.substr(14);
+      if (Opts.TimingJsonPath.empty()) {
+        errs() << "empty path in '--timing-json='\n";
+        return false;
+      }
+    }
     else if (Arg == "--stats")
       Opts.Stats = true;
     else if (startsWith(Arg, "--disable-pass="))
@@ -350,6 +368,85 @@ int runLint(ir::Module &M, const Options &Opts) {
   return 0;
 }
 
+/// --timing-json: one pipeline reported in the srp-bench/1 schema (see
+/// DESIGN.md §7), so tools/bench_diff.py can diff an srp-run invocation
+/// against another run or a recorded baseline. The grid is a single
+/// workload (the input file) under a single config (the strategy), the
+/// wall-clock medians are the one measured pipeline wall time, and each
+/// pass's p50 is its single sample.
+bool writeTimingJson(const Options &Opts, const core::PipelineState &S,
+                     uint64_t WallUs) {
+  std::FILE *File = std::fopen(Opts.TimingJsonPath.c_str(), "wb");
+  if (!File) {
+    errs() << "cannot write '" << Opts.TimingJsonPath << "'\n";
+    return false;
+  }
+  FileOStream OS(File);
+  JSONWriter W(OS);
+  W.beginObject();
+  W.key("schema").value("srp-bench/1");
+  W.key("label").value("srp-run");
+  W.key("smoke").value(false);
+  W.key("repeat").value(1);
+  W.key("grid");
+  {
+    W.beginObject();
+    W.key("pipelines").value(uint64_t(1));
+    W.key("workloads").beginArray().value(inputStem(Opts.InputPath)).endArray();
+    W.key("configs").beginArray().value(Opts.StrategyName).endArray();
+    W.endObject();
+  }
+  W.key("wall_clock_us");
+  {
+    W.beginObject();
+    W.key("j1_p50").value(WallUs);
+    W.key("jn_p50").value(WallUs);
+    W.key("threads").value(1);
+    W.endObject();
+  }
+  W.key("passes");
+  {
+    W.beginObject();
+    for (const core::PipelineResult::PassTiming &T : S.Result.Timings) {
+      W.key(T.Name);
+      W.beginObject();
+      W.key("p50_us").value(T.Micros);
+      W.key("total_us").value(T.Micros);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.key("counters");
+  {
+    const arch::PerfCounters &C = S.Result.Sim.Counters;
+    const pre::PromotionStats &P = S.Result.Promotion;
+    W.beginObject();
+    W.key("sim.cycles").value(C.Cycles);
+    W.key("sim.instructions").value(C.Instructions);
+    W.key("sim.retired_loads").value(C.RetiredLoads);
+    W.key("promotion.exprs").value(P.PromotedExprs);
+    W.key("promotion.loads_removed").value(P.loadsRemoved());
+    W.key("promotion.checks").value(P.ChecksInserted + P.CascadeChecks);
+    W.endObject();
+  }
+  W.key("stats");
+  {
+    StatsRegistry &SR = StatsRegistry::get();
+    W.beginObject();
+    for (const char *Key :
+         {"analysis.cache.hits", "analysis.cache.misses",
+          "analysis.cache.invalidations", "alloc.arena.bytes",
+          "alloc.arena.slabs", "alloc.arena.resets"})
+      W.key(Key).value(SR.value(Key));
+    W.endObject();
+  }
+  W.endObject();
+  OS << "\n";
+  OS.flush();
+  std::fclose(File);
+  return true;
+}
+
 bool readFile(const std::string &Path, std::string &Out) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
@@ -416,9 +513,23 @@ int main(int Argc, char **Argv) {
       codegen::printMModule(*St.MM, outs());
     }
   };
-  bool Ok = PM.run(S, AfterPass);
+  uint64_t WallUs = 0;
+  bool Ok;
+  {
+    ScopedTimer Wall(WallUs);
+    Ok = PM.run(S, AfterPass);
+  }
 
-  auto ReportObservability = [&Opts, &S] {
+  auto ReportObservability = [&Opts, &S, &M, WallUs] {
+    // Live arenas haven't published yet (stats normally post at arena
+    // teardown); flush so the report and JSON see real totals.
+    if (Opts.Stats || !Opts.TimingJsonPath.empty()) {
+      M.arena().flushStats();
+      if (S.MM)
+        S.MM->arena().flushStats();
+    }
+    if (!Opts.TimingJsonPath.empty())
+      writeTimingJson(Opts, S, WallUs);
     if (Opts.Timing) {
       errs() << "--- pass timing (us) ---\n";
       for (const core::PipelineResult::PassTiming &T : S.Result.Timings)
