@@ -38,7 +38,7 @@ bool PassManager::run(PipelineState &S, const PassCallback &AfterPass) {
       Ok = P->run(S);
     }
     S.Result.Timings.push_back({std::string(P->name()), Micros});
-    StatsRegistry::get().add("pass." + std::string(P->name()) + ".us",
+    StatsRegistry::current().add("pass." + std::string(P->name()) + ".us",
                              Micros);
     // No pipeline-wide cache flush here: mutating passes invalidate
     // exactly the functions they changed (see AnalysisCache.h), so

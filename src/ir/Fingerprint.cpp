@@ -1,0 +1,16 @@
+//===- Fingerprint.cpp - Deterministic module fingerprinting -------------------===//
+
+#include "ir/Fingerprint.h"
+
+#include "ir/Printer.h"
+#include "support/Hash.h"
+
+using namespace srp;
+
+std::string ir::canonicalModuleText(const Module &M) {
+  return moduleToString(M);
+}
+
+uint64_t ir::moduleFingerprint(const Module &M) {
+  return fnv1a64(canonicalModuleText(M));
+}

@@ -80,7 +80,7 @@ namespace {
 /// Records the per-stage wall time into the process-wide registry so
 /// `--stats` shows where promotion time goes across a whole run.
 void recordStageTimes(const StageTimings &T) {
-  StatsRegistry &R = StatsRegistry::get();
+  StatsRegistry &R = StatsRegistry::current();
   R.add("pre.phiinsertion.us", T.PhiInsertion);
   R.add("pre.rename.us", T.Rename);
   R.add("pre.downsafety.us", T.DownSafety);

@@ -60,7 +60,7 @@ uint64_t AnalysisCache::generation(const ir::Function &F) const {
 }
 
 void AnalysisCache::publishStats() {
-  StatsRegistry &SR = StatsRegistry::get();
+  StatsRegistry &SR = StatsRegistry::current();
   SR.add("analysis.cache.hits", Stats.Hits - Published.Hits);
   SR.add("analysis.cache.misses", Stats.Misses - Published.Misses);
   SR.add("analysis.cache.invalidations",

@@ -91,7 +91,7 @@ Arena::~Arena() {
 }
 
 void Arena::publishStats(bool CountReset) {
-  StatsRegistry &SR = StatsRegistry::get();
+  StatsRegistry &SR = StatsRegistry::current();
   if (BytesAllocated > BytesPublished) {
     SR.add("alloc.arena.bytes", BytesAllocated - BytesPublished);
     BytesPublished = BytesAllocated;

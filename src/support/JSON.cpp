@@ -9,6 +9,8 @@
 using namespace srp;
 
 void JSONWriter::newline() {
+  if (Compact)
+    return;
   OS << '\n';
   OS.indent(2 * static_cast<unsigned>(Stack.size()));
 }
@@ -77,7 +79,7 @@ JSONWriter &JSONWriter::key(std::string_view K) {
   F.KeyPending = true;
   newline();
   writeEscaped(K);
-  OS << ": ";
+  OS << (Compact ? ":" : ": ");
   return *this;
 }
 

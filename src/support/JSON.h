@@ -37,7 +37,11 @@ namespace srp {
 /// Streaming JSON emitter over an OStream (see file comment).
 class JSONWriter {
 public:
-  explicit JSONWriter(OStream &OS) : OS(OS) {}
+  /// \p Compact emits the value on a single line with no whitespace —
+  /// the framing the newline-delimited serve protocol requires, where a
+  /// literal '\n' inside a response would split it into two frames.
+  explicit JSONWriter(OStream &OS, bool Compact = false)
+      : OS(OS), Compact(Compact) {}
 
   JSONWriter &beginObject();
   JSONWriter &endObject();
@@ -68,6 +72,7 @@ private:
   void writeEscaped(std::string_view S);
 
   OStream &OS;
+  bool Compact;
   struct Frame {
     Scope S;
     bool HasMembers = false;

@@ -1,0 +1,136 @@
+//===- JSONReader.h - Strict JSON parser ------------------------*- C++ -*-===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reading half of support/JSON.h: a small recursive-descent JSON
+/// parser producing a JSONValue tree. Built for the serve protocol, whose
+/// decoder faces adversarial input (srp-fuzz --serve feeds it garbage),
+/// so the parser is strict and total: no exceptions, no recursion past a
+/// fixed depth, no accepted extensions (comments, trailing commas,
+/// unquoted keys, duplicate object keys are all errors), and every
+/// failure is a diagnostic string rather than an abort.
+///
+/// Object member order is preserved and duplicate keys are rejected, so a
+/// document has exactly one reading — request canonicalization
+/// (core/Serve.h) depends on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SRP_SUPPORT_JSONREADER_H
+#define SRP_SUPPORT_JSONREADER_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace srp {
+
+/// One parsed JSON value. Numbers keep their integral identity when they
+/// have one: an unsigned integer that fits uint64_t is Kind::Uint, a
+/// negative integer that fits int64_t is Kind::Int, everything else
+/// (fractions, exponents, out-of-range magnitudes) is Kind::Double.
+class JSONValue {
+public:
+  enum class Kind : uint8_t {
+    Null,
+    Bool,
+    Uint,
+    Int,
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  JSONValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+  /// Any of the three numeric kinds.
+  bool isNumber() const {
+    return K == Kind::Uint || K == Kind::Int || K == Kind::Double;
+  }
+  /// A non-negative integer representable as uint64_t.
+  bool isUint() const { return K == Kind::Uint; }
+
+  bool asBool() const {
+    assert(K == Kind::Bool);
+    return B;
+  }
+  uint64_t asUint() const {
+    assert(K == Kind::Uint);
+    return U;
+  }
+  int64_t asInt() const {
+    assert(K == Kind::Int);
+    return I;
+  }
+  double asDouble() const {
+    assert(K == Kind::Double);
+    return D;
+  }
+  const std::string &asString() const {
+    assert(K == Kind::String);
+    return S;
+  }
+
+  /// Array elements / object member count.
+  size_t size() const {
+    assert(K == Kind::Array || K == Kind::Object);
+    return K == Kind::Array ? Elems.size() : Members.size();
+  }
+
+  const JSONValue &at(size_t Index) const {
+    assert(K == Kind::Array && Index < Elems.size());
+    return Elems[Index];
+  }
+
+  /// Object members, in document order.
+  const std::vector<std::pair<std::string, JSONValue>> &members() const {
+    assert(K == Kind::Object);
+    return Members;
+  }
+
+  /// The member named \p Key, or null when absent.
+  const JSONValue *find(std::string_view Key) const {
+    assert(K == Kind::Object);
+    for (const auto &[Name, Value] : Members)
+      if (Name == Key)
+        return &Value;
+    return nullptr;
+  }
+
+private:
+  friend class JSONParser;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<JSONValue> Elems;
+  std::vector<std::pair<std::string, JSONValue>> Members;
+};
+
+/// Parses \p Text as exactly one JSON value (leading/trailing whitespace
+/// allowed, anything else after the value is an error). On failure
+/// returns false with \p Error set to "offset N: ..." — the offset lets
+/// the serve protocol report where in a request frame decoding stopped.
+/// Nesting deeper than 64 levels is rejected (the parser recurses).
+bool parseJSON(std::string_view Text, JSONValue &Out, std::string &Error);
+
+} // namespace srp
+
+#endif // SRP_SUPPORT_JSONREADER_H

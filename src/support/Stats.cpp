@@ -12,6 +12,29 @@ StatsRegistry &StatsRegistry::get() {
   return Registry;
 }
 
+namespace {
+/// Innermost active capture on this thread (null: record globally).
+thread_local StatsRegistry *ActiveCapture = nullptr;
+} // namespace
+
+StatsRegistry &StatsRegistry::current() {
+  return ActiveCapture ? *ActiveCapture : get();
+}
+
+void StatsRegistry::merge(const StatsRegistry &Other) {
+  for (const auto &[Name, Value] : Other.snapshot())
+    add(Name, Value);
+}
+
+ScopedStatsCapture::ScopedStatsCapture() : Outer(ActiveCapture) {
+  ActiveCapture = &Local;
+}
+
+ScopedStatsCapture::~ScopedStatsCapture() {
+  ActiveCapture = Outer;
+  StatsRegistry::current().merge(Local);
+}
+
 void StatsRegistry::add(std::string_view Name, uint64_t Delta) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Counters.find(Name);

@@ -34,6 +34,14 @@
 //     file header. Combine with --taint to replay a taint-mode finding
 //     (the secret labels are derived from the same seeds).
 //
+//   srp-fuzz --serve
+//     Fuzz the srp-serve protocol stack instead (fuzz/ServeFuzzer.h):
+//     seed-derived byte streams of mutated, truncated, pipelined and
+//     garbage NDJSON frames, checked for chunking-independent framing,
+//     one well-formed response per frame, and repeat determinism.
+//     --iterations/--threads/--seed/--repro-dir/--max-findings apply;
+//     findings replay with --replay-serve=SEED.
+//
 // Exit status (matching srp-run lint): 0 clean sweep, 1 findings (or
 // replay mismatch), 2 usage errors.
 //
@@ -41,6 +49,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Minimizer.h"
+#include "fuzz/ServeFuzzer.h"
 #include "support/OStream.h"
 #include "support/StringUtils.h"
 
@@ -54,6 +63,8 @@ namespace {
 struct Options {
   fuzz::FuzzOptions Fuzz;
   std::string Replay;
+  std::string ReplayServe;
+  bool Serve = false;
   bool Quiet = false;
 };
 
@@ -113,6 +124,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Quiet = true;
     } else if (startsWith(Arg, "--replay=")) {
       Opts.Replay = std::string(Arg.substr(9));
+    } else if (Arg == "--serve") {
+      Opts.Serve = true;
+    } else if (startsWith(Arg, "--replay-serve=")) {
+      Opts.ReplayServe = std::string(Arg.substr(15));
+      Opts.Serve = true;
     } else {
       errs() << "unknown option '" << Arg << "'\n";
       return false;
@@ -122,8 +138,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   // iterations under the clock.
   if (SecondsSet && Opts.Fuzz.Iterations == 1000)
     Opts.Fuzz.Iterations = 0;
-  if (Opts.Replay.empty() && Opts.Fuzz.Iterations == 0 &&
-      Opts.Fuzz.Seconds == 0) {
+  if (Opts.Replay.empty() && Opts.ReplayServe.empty() &&
+      Opts.Fuzz.Iterations == 0 && Opts.Fuzz.Seconds == 0) {
     errs() << "nothing to do: give --iterations and/or --seconds\n";
     return false;
   }
@@ -159,6 +175,70 @@ int runReplay(const std::string &Arg, const Options &Opts) {
   return 1;
 }
 
+/// --serve --replay-serve=SEED: re-derive one input and re-check it.
+int runServeReplay(const std::string &Arg) {
+  uint64_t Seed = 0;
+  bool Hex = startsWith(Arg, "0x");
+  std::string_view Digits = std::string_view(Arg).substr(Hex ? 2 : 0);
+  if (Digits.empty() || Digits.size() > 16 + (Hex ? 0 : 4)) {
+    errs() << "malformed --replay-serve seed '" << Arg << "'\n";
+    return 2;
+  }
+  for (char C : Digits) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = unsigned(C - '0');
+    else if (Hex && C >= 'a' && C <= 'f')
+      D = unsigned(C - 'a') + 10;
+    else {
+      errs() << "malformed --replay-serve seed '" << Arg << "'\n";
+      return 2;
+    }
+    Seed = Hex ? Seed * 16 + D : Seed * 10 + D;
+  }
+  std::string Input = fuzz::serveInputFromSeed(Seed);
+  outs() << formatString("replaying serve input 0x%llx (%zu bytes)\n",
+                         (unsigned long long)Seed, Input.size());
+  std::string Detail;
+  if (fuzz::checkServeInput(Input, Detail)) {
+    outs() << "serving contract holds\n";
+    return 0;
+  }
+  outs() << "violation: " << Detail << '\n';
+  return 1;
+}
+
+/// --serve: the protocol-decoder campaign (ServeFuzzer.h).
+int runServeCampaign(const Options &Opts) {
+  fuzz::ServeFuzzOptions SO;
+  SO.Iterations = Opts.Fuzz.Iterations ? Opts.Fuzz.Iterations : 1000;
+  SO.Threads = Opts.Fuzz.Threads;
+  SO.Seed = Opts.Fuzz.Seed;
+  SO.Minimize = Opts.Fuzz.Minimize;
+  SO.ReproDir = Opts.Fuzz.ReproDir;
+  SO.MaxFindings = Opts.Fuzz.MaxFindings;
+  if (!Opts.Quiet)
+    SO.Log = [](const std::string &Line) { errs() << Line << '\n'; };
+
+  fuzz::ServeFuzzResult R = fuzz::runServeFuzz(SO);
+  outs() << formatString("ran %llu serve inputs\n",
+                         (unsigned long long)R.Iterations);
+  if (R.Findings.empty()) {
+    outs() << "no findings\n";
+    return 0;
+  }
+  outs() << formatString("%zu finding(s):\n", R.Findings.size());
+  for (const fuzz::ServeFinding &F : R.Findings) {
+    outs() << "  " << F.Detail << '\n';
+    outs() << formatString(
+        "    replay: srp-fuzz --serve --replay-serve=%s (%zu bytes)\n",
+        F.replayArg().c_str(), F.Input.size());
+    if (!F.ReproPath.empty())
+      outs() << "    repro: " << F.ReproPath << '\n';
+  }
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -167,6 +247,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
 
+  if (!Opts.ReplayServe.empty())
+    return runServeReplay(Opts.ReplayServe);
+  if (Opts.Serve)
+    return runServeCampaign(Opts);
   if (!Opts.Replay.empty())
     return runReplay(Opts.Replay, Opts);
 

@@ -375,7 +375,7 @@ int runLint(ir::Module &M, const Options &Opts) {
 /// wall-clock medians are the one measured pipeline wall time, and each
 /// pass's p50 is its single sample.
 bool writeTimingJson(const Options &Opts, const core::PipelineState &S,
-                     uint64_t WallUs) {
+                     uint64_t WallUs, const StatsRegistry &SR) {
   std::FILE *File = std::fopen(Opts.TimingJsonPath.c_str(), "wb");
   if (!File) {
     errs() << "cannot write '" << Opts.TimingJsonPath << "'\n";
@@ -431,7 +431,6 @@ bool writeTimingJson(const Options &Opts, const core::PipelineState &S,
   }
   W.key("stats");
   {
-    StatsRegistry &SR = StatsRegistry::get();
     W.beginObject();
     for (const char *Key :
          {"analysis.cache.hits", "analysis.cache.misses",
@@ -513,6 +512,12 @@ int main(int Argc, char **Argv) {
       codegen::printMModule(*St.MM, outs());
     }
   };
+  // The run's stats epoch: --stats and --timing-json describe this
+  // pipeline, not everything the process recorded since startup (the
+  // registry is cumulative and a long-lived embedder may have run many
+  // pipelines before this one). The capture merges into the global
+  // registry when it dies, so process totals still add up.
+  ScopedStatsCapture Capture;
   uint64_t WallUs = 0;
   bool Ok;
   {
@@ -520,7 +525,7 @@ int main(int Argc, char **Argv) {
     Ok = PM.run(S, AfterPass);
   }
 
-  auto ReportObservability = [&Opts, &S, &M, WallUs] {
+  auto ReportObservability = [&Opts, &S, &M, WallUs, &Capture] {
     // Live arenas haven't published yet (stats normally post at arena
     // teardown); flush so the report and JSON see real totals.
     if (Opts.Stats || !Opts.TimingJsonPath.empty()) {
@@ -529,7 +534,7 @@ int main(int Argc, char **Argv) {
         S.MM->arena().flushStats();
     }
     if (!Opts.TimingJsonPath.empty())
-      writeTimingJson(Opts, S, WallUs);
+      writeTimingJson(Opts, S, WallUs, Capture.captured());
     if (Opts.Timing) {
       errs() << "--- pass timing (us) ---\n";
       for (const core::PipelineResult::PassTiming &T : S.Result.Timings)
@@ -539,7 +544,7 @@ int main(int Argc, char **Argv) {
     }
     if (Opts.Stats) {
       errs() << "--- stats ---\n";
-      StatsRegistry::get().report(errs());
+      Capture.captured().report(errs());
     }
   };
 

@@ -1,0 +1,183 @@
+//===- srp-serve.cpp - Promotion-as-a-service daemon ---------------------------===//
+//
+// Part of the srp-alat project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving daemon over core::ServerCore (DESIGN.md §8): accepts
+/// newline-delimited JSON requests on stdin (default), a loopback TCP
+/// port, or a Unix-domain socket; compiles and simulates the requested
+/// (workload|program, config) pairs on the shared thread pool; answers
+/// repeats byte-identically from the content-addressed result cache.
+///
+///   srp-serve [--stdio] [--tcp=PORT] [--unix=PATH] [-jN]
+///             [--cache-mb=N] [--cache-shards=N] [--max-scale=N]
+///             [--fuel=N]
+///
+/// Exit codes follow the house convention: 0 clean shutdown / EOF,
+/// 1 runtime failure (bind, accept loop), 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Serve.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include <csignal>
+
+using namespace srp;
+
+namespace {
+
+struct Options {
+  enum class Transport { Stdio, Tcp, Unix } Mode = Transport::Stdio;
+  unsigned TcpPort = 0;
+  std::string UnixPath;
+  core::ServeOptions Serve;
+};
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.substr(0, Prefix.size()) == Prefix;
+}
+
+/// Strict decimal parse (see srp-run): rejects empty, non-digit and
+/// overlong input instead of silently reading 0.
+bool parseUnsignedValue(std::string_view Value, uint64_t &Out) {
+  if (Value.empty() || Value.size() > 12)
+    return false;
+  uint64_t V = 0;
+  for (char C : Value) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+void usage(std::FILE *To) {
+  std::fputs(
+      "usage: srp-serve [--stdio | --tcp=PORT | --unix=PATH] [options]\n"
+      "\n"
+      "Newline-delimited JSON promotion service (protocol: DESIGN.md §8).\n"
+      "\n"
+      "transports (default --stdio):\n"
+      "  --stdio            requests on stdin, responses on stdout\n"
+      "  --tcp=PORT         listen on 127.0.0.1:PORT\n"
+      "  --unix=PATH        listen on a Unix-domain socket at PATH\n"
+      "\n"
+      "options:\n"
+      "  -jN                concurrent pipeline runs (default: hardware)\n"
+      "  --cache-mb=N       result cache byte budget (default 256)\n"
+      "  --cache-shards=N   result cache shard count (default 16)\n"
+      "  --max-scale=N      largest accepted train/ref scale (default 64)\n"
+      "  --fuel=N           interpreter fuel per run (part of cache key)\n",
+      To);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  uint64_t CacheMb = 256, CacheShards = 16;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    uint64_t Value = 0;
+    if (Arg == "--stdio") {
+      Opts.Mode = Options::Transport::Stdio;
+    } else if (startsWith(Arg, "--tcp=")) {
+      if (!parseUnsignedValue(Arg.substr(6), Value) || Value == 0 ||
+          Value > 65535) {
+        std::fprintf(stderr, "srp-serve: bad --tcp port\n");
+        return false;
+      }
+      Opts.Mode = Options::Transport::Tcp;
+      Opts.TcpPort = static_cast<unsigned>(Value);
+    } else if (startsWith(Arg, "--unix=")) {
+      Opts.Mode = Options::Transport::Unix;
+      Opts.UnixPath = std::string(Arg.substr(7));
+      if (Opts.UnixPath.empty()) {
+        std::fprintf(stderr, "srp-serve: empty --unix path\n");
+        return false;
+      }
+    } else if (startsWith(Arg, "-j")) {
+      if (!parseUnsignedValue(Arg.substr(2), Value) || Value == 0) {
+        std::fprintf(stderr, "srp-serve: bad -jN\n");
+        return false;
+      }
+      Opts.Serve.Threads = static_cast<unsigned>(Value);
+    } else if (startsWith(Arg, "--cache-mb=")) {
+      if (!parseUnsignedValue(Arg.substr(11), CacheMb) || CacheMb == 0) {
+        std::fprintf(stderr, "srp-serve: bad --cache-mb\n");
+        return false;
+      }
+    } else if (startsWith(Arg, "--cache-shards=")) {
+      if (!parseUnsignedValue(Arg.substr(15), CacheShards) ||
+          CacheShards == 0 || CacheShards > 4096) {
+        std::fprintf(stderr, "srp-serve: bad --cache-shards\n");
+        return false;
+      }
+    } else if (startsWith(Arg, "--max-scale=")) {
+      if (!parseUnsignedValue(Arg.substr(12), Opts.Serve.MaxScale) ||
+          Opts.Serve.MaxScale == 0) {
+        std::fprintf(stderr, "srp-serve: bad --max-scale\n");
+        return false;
+      }
+    } else if (startsWith(Arg, "--fuel=")) {
+      if (!parseUnsignedValue(Arg.substr(7), Opts.Serve.InterpFuel) ||
+          Opts.Serve.InterpFuel == 0) {
+        std::fprintf(stderr, "srp-serve: bad --fuel\n");
+        return false;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "srp-serve: unknown option '%s'\n",
+                   std::string(Arg).c_str());
+      return false;
+    }
+  }
+  Opts.Serve.Cache.ByteBudget = static_cast<size_t>(CacheMb) << 20;
+  Opts.Serve.Cache.Shards = static_cast<unsigned>(CacheShards);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(stderr);
+    return 2;
+  }
+
+  // A client vanishing mid-response must surface as a send error on
+  // that connection, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Opts.Serve.Workloads = workloads::standardWorkloads();
+  core::ServerCore Core(std::move(Opts.Serve));
+
+  if (Opts.Mode == Options::Transport::Stdio)
+    return core::runStdioServer(Core, stdin, stdout);
+
+  std::string Error;
+  int ListenFd = Opts.Mode == Options::Transport::Tcp
+                     ? core::listenTcp(static_cast<uint16_t>(Opts.TcpPort),
+                                       Error)
+                     : core::listenUnix(Opts.UnixPath, Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "srp-serve: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Opts.Mode == Options::Transport::Tcp)
+    std::fprintf(stderr, "srp-serve: listening on 127.0.0.1:%u\n",
+                 Opts.TcpPort);
+  else
+    std::fprintf(stderr, "srp-serve: listening on %s\n",
+                 Opts.UnixPath.c_str());
+  return core::runSocketServer(Core, ListenFd);
+}
